@@ -1,0 +1,127 @@
+// confbench regenerates the paper's evaluation tables (Figures 5-8 and
+// §7.3) directly, without the testing framework.
+//
+// Usage:
+//
+//	confbench [-figure all|5|6|7|8|ldap]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"confllvm"
+	"confllvm/internal/bench"
+)
+
+func main() {
+	figure := flag.String("figure", "all", "which figure to regenerate: all, 5, 6, 7, 8, ldap")
+	flag.Parse()
+
+	run := func(name string, fn func() error) {
+		if *figure != "all" && *figure != name {
+			return
+		}
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "confbench: figure %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+	run("5", fig5)
+	run("6", fig6)
+	run("ldap", ldap)
+	run("7", fig7)
+	run("8", fig8)
+}
+
+func fig5() error {
+	cols := []confllvm.Variant{confllvm.VariantBase, confllvm.VariantBaseOA,
+		confllvm.VariantBare, confllvm.VariantCFI, confllvm.VariantMPX, confllvm.VariantSeg}
+	tbl := bench.NewTable("Figure 5: SPEC CPU 2006 execution time (% of Base)", cols, "cyc")
+	for _, k := range bench.SPECKernels() {
+		for _, v := range cols {
+			m, err := bench.RunSPEC(k, v)
+			if err != nil {
+				return err
+			}
+			tbl.Set(k.Name, v, m.Wall)
+		}
+	}
+	fmt.Println(tbl)
+	fmt.Printf("geomean overheads: CFI=%.1f%%  MPX=%.1f%%  Seg=%.1f%%\n\n",
+		tbl.GeoMeanOverhead(confllvm.VariantCFI),
+		tbl.GeoMeanOverhead(confllvm.VariantMPX),
+		tbl.GeoMeanOverhead(confllvm.VariantSeg))
+	return nil
+}
+
+func fig6() error {
+	cols := []confllvm.Variant{confllvm.VariantBase, confllvm.VariantOneMem,
+		confllvm.VariantBare, confllvm.VariantCFI, confllvm.VariantMPXSep, confllvm.VariantMPX}
+	tbl := bench.NewTable("Figure 6: NGINX cycles per request (% of Base)", cols, "cyc/req")
+	const reqs = 32
+	for _, kb := range []int{0, 1, 2, 5, 10, 20, 40} {
+		for _, v := range cols {
+			m, err := bench.RunWebServer(v, reqs, kb*1024)
+			if err != nil {
+				return err
+			}
+			tbl.Set(fmt.Sprintf("resp-%02dKB", kb), v, m.Wall/uint64(reqs))
+		}
+	}
+	fmt.Println(tbl)
+	return nil
+}
+
+func ldap() error {
+	cols := []confllvm.Variant{confllvm.VariantBase, confllvm.VariantMPX}
+	tbl := bench.NewTable("Section 7.3: OpenLDAP cycles per query (% of Base)", cols, "cyc/q")
+	const queries = 2000
+	for _, mode := range []struct {
+		name string
+		miss int
+	}{{"query-miss", 100}, {"query-hit", 0}} {
+		for _, v := range cols {
+			m, err := bench.RunLDAP(v, queries, mode.miss)
+			if err != nil {
+				return err
+			}
+			tbl.Set(mode.name, v, m.Wall/queries)
+		}
+	}
+	fmt.Println(tbl)
+	return nil
+}
+
+func fig7() error {
+	cols := []confllvm.Variant{confllvm.VariantBase, confllvm.VariantBaseOA,
+		confllvm.VariantBare, confllvm.VariantCFI, confllvm.VariantMPX}
+	tbl := bench.NewTable("Figure 7: Privado classification latency (% of Base)", cols, "cyc/img")
+	const images = 4
+	for _, v := range cols {
+		m, err := bench.RunClassifier(v, images)
+		if err != nil {
+			return err
+		}
+		tbl.Set("classify", v, m.Wall/images)
+	}
+	fmt.Println(tbl)
+	return nil
+}
+
+func fig8() error {
+	cols := []confllvm.Variant{confllvm.VariantBase, confllvm.VariantSeg, confllvm.VariantMPX}
+	tbl := bench.NewTable("Figure 8: Merkle-FS parallel read, total time (% of Base)", cols, "cyc")
+	for _, n := range []int{1, 2, 3, 4, 5, 6} {
+		for _, v := range cols {
+			m, err := bench.RunMerkle(v, 256, n)
+			if err != nil {
+				return err
+			}
+			tbl.Set(fmt.Sprintf("%d-threads", n), v, m.Wall)
+		}
+	}
+	fmt.Println(tbl)
+	return nil
+}

@@ -1,0 +1,98 @@
+// confrun loads a linked U image, binds the trusted runtime, and executes
+// it on the emulated machine, reporting the observable channels and the
+// cycle statistics.
+//
+// Usage:
+//
+//	confrun [-param n]... [-file name=content]... [-passwd user=pw]... prog.img
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"confllvm"
+)
+
+type listFlag []string
+
+func (l *listFlag) String() string     { return strings.Join(*l, ",") }
+func (l *listFlag) Set(s string) error { *l = append(*l, s); return nil }
+
+func main() {
+	var params, files, privFiles, passwds listFlag
+	flag.Var(&params, "param", "append an integer scenario parameter (repeatable)")
+	flag.Var(&files, "file", "add a public file as name=content (repeatable)")
+	flag.Var(&privFiles, "privfile", "add a private file as name=content (repeatable)")
+	flag.Var(&passwds, "passwd", "add a stored password as user=pw (repeatable)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: confrun [flags] prog.img")
+		os.Exit(2)
+	}
+	art, err := confllvm.LoadArtifactFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	w := confllvm.NewWorld()
+	for _, p := range params {
+		v, err := strconv.ParseInt(p, 10, 64)
+		if err != nil {
+			fatal(err)
+		}
+		w.Params = append(w.Params, v)
+	}
+	addKV := func(entries []string, m map[string][]byte) {
+		for _, e := range entries {
+			k, v, ok := strings.Cut(e, "=")
+			if !ok {
+				fatal(fmt.Errorf("bad entry %q, want name=value", e))
+			}
+			m[k] = []byte(v)
+		}
+	}
+	addKV(files, w.Files)
+	addKV(privFiles, w.PrivFiles)
+	addKV(passwds, w.Passwords)
+
+	res, err := confllvm.Run(art, w, nil)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("variant:   %v\n", art.Variant)
+	fmt.Printf("exit code: %d\n", res.ExitCode)
+	if res.Fault != nil {
+		fmt.Printf("FAULT:     %v\n", res.Fault)
+	}
+	fmt.Printf("cycles:    %d (wall %d)\n", res.Stats.Cycles, res.WallCycles)
+	fmt.Printf("instrs:    %d  loads: %d  stores: %d  bnd-checks: %d (masked %d)  L1-misses: %d\n",
+		res.Stats.Instrs, res.Stats.Loads, res.Stats.Stores,
+		res.Stats.BndChecks, res.Stats.BndMasked, res.Stats.CacheMisses)
+	for i, o := range res.Outputs {
+		fmt.Printf("output[%d]: %d\n", i, o)
+	}
+	for i, pkt := range res.NetOut {
+		fmt.Printf("net[%d]:    %q\n", i, clip(pkt))
+	}
+	if len(res.Log) > 0 {
+		fmt.Printf("log:       %q\n", clip(res.Log))
+	}
+	if res.Fault != nil {
+		os.Exit(1)
+	}
+}
+
+func clip(b []byte) []byte {
+	if len(b) > 80 {
+		return append(append([]byte{}, b[:77]...), '.', '.', '.')
+	}
+	return b
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "confrun:", err)
+	os.Exit(1)
+}

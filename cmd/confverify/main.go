@@ -1,0 +1,30 @@
+// confverify checks a linked U image for the instrumentation that
+// guarantees confidentiality, without trusting the compiler that produced
+// it (§5.2). Exit status 0 means the binary is accepted.
+//
+// Usage:
+//
+//	confverify [-strict] prog.img
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"confllvm"
+)
+
+func main() {
+	strict := flag.Bool("strict", false, "additionally reject branches on private data")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: confverify [-strict] prog.img")
+		os.Exit(2)
+	}
+	if err := confllvm.VerifyImageFile(flag.Arg(0), *strict); err != nil {
+		fmt.Fprintln(os.Stderr, "confverify: REJECTED:", err)
+		os.Exit(1)
+	}
+	fmt.Println("confverify: OK")
+}

@@ -1,0 +1,113 @@
+// Package alloc implements the region-confined heap allocators: every
+// allocation is carved out of one region (public, private, or T), so heap
+// objects can never straddle a confidentiality boundary — the property the
+// paper obtains by modifying dlmalloc (§6).
+//
+// Two policies are provided so the Base-vs-BaseOA comparison of §7.1 is
+// reproducible: Bump models a naive system allocator that never reuses
+// freed memory (larger footprint, worse locality), FreeList is the
+// dlmalloc-like first-fit allocator with coalescing that ConfLLVM ships.
+package alloc
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Mode selects the allocation policy.
+type Mode uint8
+
+const (
+	// Bump never reuses freed memory.
+	Bump Mode = iota
+	// FreeList is first-fit with free-block coalescing.
+	FreeList
+)
+
+// Allocator hands out addresses from a fixed region window. Metadata lives
+// host-side; the region's bytes are entirely the program's.
+type Allocator struct {
+	base, end uint64
+	mode      Mode
+	cursor    uint64
+	free      []span // sorted by addr
+	sizes     map[uint64]uint64
+}
+
+type span struct {
+	addr, size uint64
+}
+
+const chunkAlign = 16
+
+// New creates an allocator over [base, base+size).
+func New(base, size uint64, mode Mode) *Allocator {
+	return &Allocator{
+		base: base, end: base + size, mode: mode, cursor: base,
+		sizes: map[uint64]uint64{},
+	}
+}
+
+// Alloc returns the address of a fresh chunk of at least size bytes.
+func (a *Allocator) Alloc(size uint64) (uint64, error) {
+	if size == 0 {
+		size = 1
+	}
+	size = (size + chunkAlign - 1) &^ (chunkAlign - 1)
+	if a.mode == FreeList {
+		for i, s := range a.free {
+			if s.size >= size {
+				addr := s.addr
+				if s.size == size {
+					a.free = append(a.free[:i], a.free[i+1:]...)
+				} else {
+					a.free[i] = span{s.addr + size, s.size - size}
+				}
+				a.sizes[addr] = size
+				return addr, nil
+			}
+		}
+	}
+	if a.cursor+size > a.end {
+		return 0, fmt.Errorf("alloc: out of region memory (%d bytes requested)", size)
+	}
+	addr := a.cursor
+	a.cursor += size
+	a.sizes[addr] = size
+	return addr, nil
+}
+
+// Free returns a chunk to the allocator. Freeing an address that was not
+// allocated is an error (the trusted wrapper turns it into a fault).
+func (a *Allocator) Free(addr uint64) error {
+	size, ok := a.sizes[addr]
+	if !ok {
+		return fmt.Errorf("alloc: free of unallocated address %#x", addr)
+	}
+	delete(a.sizes, addr)
+	if a.mode == Bump {
+		return nil
+	}
+	a.free = append(a.free, span{addr, size})
+	sort.Slice(a.free, func(i, j int) bool { return a.free[i].addr < a.free[j].addr })
+	// Coalesce adjacent spans.
+	out := a.free[:0]
+	for _, s := range a.free {
+		if n := len(out); n > 0 && out[n-1].addr+out[n-1].size == s.addr {
+			out[n-1].size += s.size
+		} else {
+			out = append(out, s)
+		}
+	}
+	a.free = out
+	return nil
+}
+
+// InUse returns the number of live chunks (for leak tests).
+func (a *Allocator) InUse() int { return len(a.sizes) }
+
+// HighWater returns the highest address ever handed out.
+func (a *Allocator) HighWater() uint64 { return a.cursor }
+
+// Contains reports whether addr lies in this allocator's region window.
+func (a *Allocator) Contains(addr uint64) bool { return addr >= a.base && addr < a.end }

@@ -1,0 +1,130 @@
+package alloc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestNoOverlap: live chunks never overlap and stay in the region,
+// whatever the interleaving of Alloc and Free (testing/quick drives the
+// schedule).
+func TestNoOverlap(t *testing.T) {
+	prop := func(seed int64, freeList bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		mode := Bump
+		if freeList {
+			mode = FreeList
+		}
+		a := New(0x1000, 1<<20, mode)
+		type chunk struct{ addr, size uint64 }
+		var live []chunk
+		for i := 0; i < 300; i++ {
+			if len(live) > 0 && rng.Intn(3) == 0 {
+				k := rng.Intn(len(live))
+				if err := a.Free(live[k].addr); err != nil {
+					t.Logf("free: %v", err)
+					return false
+				}
+				live = append(live[:k], live[k+1:]...)
+				continue
+			}
+			size := uint64(rng.Intn(512) + 1)
+			addr, err := a.Alloc(size)
+			if err != nil {
+				continue // region exhausted under Bump: fine
+			}
+			if !a.Contains(addr) || !a.Contains(addr+size-1) {
+				t.Logf("chunk escapes region: %#x+%d", addr, size)
+				return false
+			}
+			for _, c := range live {
+				if addr < c.addr+c.size && c.addr < addr+size {
+					t.Logf("overlap: [%#x,+%d) vs [%#x,+%d)", addr, size, c.addr, c.size)
+					return false
+				}
+			}
+			live = append(live, chunk{addr, size})
+		}
+		return a.InUse() == len(live)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFreeListReuse(t *testing.T) {
+	a := New(0, 4096, FreeList)
+	p1, _ := a.Alloc(128)
+	if err := a.Free(p1); err != nil {
+		t.Fatal(err)
+	}
+	p2, _ := a.Alloc(64)
+	if p2 != p1 {
+		t.Errorf("free list should reuse the freed block: got %#x, want %#x", p2, p1)
+	}
+}
+
+func TestBumpNeverReuses(t *testing.T) {
+	a := New(0, 4096, Bump)
+	p1, _ := a.Alloc(128)
+	a.Free(p1)
+	p2, _ := a.Alloc(64)
+	if p2 == p1 {
+		t.Error("bump allocator must not reuse freed memory")
+	}
+}
+
+func TestCoalescing(t *testing.T) {
+	a := New(0, 4096, FreeList)
+	p1, _ := a.Alloc(64)
+	p2, _ := a.Alloc(64)
+	p3, _ := a.Alloc(64)
+	_ = p3
+	a.Free(p1)
+	a.Free(p2)
+	// p1+p2 coalesce into 128 bytes: a 100-byte request must fit there.
+	p4, err := a.Alloc(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p4 != p1 {
+		t.Errorf("coalesced block not reused: got %#x, want %#x", p4, p1)
+	}
+}
+
+func TestDoubleFree(t *testing.T) {
+	a := New(0, 4096, FreeList)
+	p, _ := a.Alloc(16)
+	if err := a.Free(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Free(p); err == nil {
+		t.Error("double free must be rejected")
+	}
+	if err := a.Free(0x999); err == nil {
+		t.Error("wild free must be rejected")
+	}
+}
+
+func TestExhaustion(t *testing.T) {
+	a := New(0, 256, Bump)
+	if _, err := a.Alloc(512); err == nil {
+		t.Error("oversized allocation must fail")
+	}
+	if _, err := a.Alloc(128); err != nil {
+		t.Error("fitting allocation must succeed")
+	}
+}
+
+func TestZeroSize(t *testing.T) {
+	a := New(0, 4096, FreeList)
+	p1, err := a.Alloc(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, _ := a.Alloc(0)
+	if p1 == p2 {
+		t.Error("zero-size allocations must still be distinct")
+	}
+}

@@ -1,0 +1,44 @@
+package bench
+
+import (
+	"testing"
+
+	"confllvm"
+)
+
+func TestLDAPSmoke(t *testing.T) {
+	for _, v := range []confllvm.Variant{confllvm.VariantBase, confllvm.VariantMPX, confllvm.VariantSeg} {
+		m, err := RunLDAP(v, 200, 50)
+		if err != nil {
+			t.Fatalf("[%v] %v", v, err)
+		}
+		if len(m.Outputs) != 1 {
+			t.Fatalf("[%v] outputs %v", v, m.Outputs)
+		}
+	}
+}
+
+func TestClassifierSmoke(t *testing.T) {
+	var golden []int64
+	for _, v := range []confllvm.Variant{confllvm.VariantBase, confllvm.VariantMPX} {
+		m, err := RunClassifier(v, 2)
+		if err != nil {
+			t.Fatalf("[%v] %v", v, err)
+		}
+		if golden == nil {
+			golden = m.Outputs
+		} else if m.Outputs[0] != golden[0] {
+			t.Fatalf("classifier outputs differ across variants: %v vs %v", m.Outputs, golden)
+		}
+	}
+}
+
+func TestMerkleSmoke(t *testing.T) {
+	for _, v := range []confllvm.Variant{confllvm.VariantBase, confllvm.VariantSeg, confllvm.VariantMPX} {
+		m, err := RunMerkle(v, 64, 3)
+		if err != nil {
+			t.Fatalf("[%v] %v", v, err)
+		}
+		_ = m
+	}
+}

@@ -1,0 +1,162 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+
+	"confllvm"
+	"confllvm/internal/machine"
+)
+
+// Measurement is one (workload, variant) run.
+type Measurement struct {
+	Variant confllvm.Variant
+	Wall    uint64 // estimated wall-clock cycles
+	Stats   machine.Stats
+	Outputs []int64
+	Res     *confllvm.Result
+}
+
+var (
+	artMu    sync.Mutex
+	artCache = map[string]*confllvm.Artifact{}
+)
+
+// CompileCached compiles a named workload for a variant, memoizing the
+// artifact (benchmarks re-run the same binary many times).
+func CompileCached(name string, v confllvm.Variant, prog confllvm.Program) (*confllvm.Artifact, error) {
+	key := fmt.Sprintf("%s/%v/%v/%v", name, v, prog.Strict, prog.AllPrivate)
+	artMu.Lock()
+	defer artMu.Unlock()
+	if art, ok := artCache[key]; ok {
+		return art, nil
+	}
+	art, err := confllvm.Compile(prog, v)
+	if err != nil {
+		return nil, fmt.Errorf("%s [%v]: %w", name, v, err)
+	}
+	artCache[key] = art
+	return art, nil
+}
+
+// RunSPEC executes one SPEC-like kernel under a variant.
+func RunSPEC(k SPECKernel, v confllvm.Variant) (*Measurement, error) {
+	prog := confllvm.Program{
+		Sources: []confllvm.Source{
+			{Name: k.Name + ".c", Code: k.Src},
+			{Name: "ulib.c", Code: ULib},
+		},
+		Strict: true, // SPEC has no private data; strict mode is free
+	}
+	art, err := CompileCached("spec-"+k.Name, v, prog)
+	if err != nil {
+		return nil, err
+	}
+	w := confllvm.NewWorld()
+	w.Params = k.Params
+	res, err := confllvm.Run(art, w, nil)
+	if err != nil {
+		return nil, err
+	}
+	if res.Fault != nil {
+		return nil, fmt.Errorf("%s [%v]: %v", k.Name, v, res.Fault)
+	}
+	return &Measurement{Variant: v, Wall: res.WallCycles, Stats: res.Stats,
+		Outputs: res.Outputs, Res: res}, nil
+}
+
+// Table renders a paper-style percent-of-base table: one row per workload,
+// one column per configuration, cells are execution metric as % of Base.
+type Table struct {
+	Title    string
+	Columns  []confllvm.Variant
+	rowNames []string
+	cells    map[string]map[confllvm.Variant]float64
+	absolute map[string]uint64 // Base absolute value per row
+	// HigherIsBetter flips the ratio (throughput tables).
+	HigherIsBetter bool
+	Unit           string
+}
+
+// NewTable creates an empty table.
+func NewTable(title string, cols []confllvm.Variant, unit string) *Table {
+	return &Table{Title: title, Columns: cols, Unit: unit,
+		cells:    map[string]map[confllvm.Variant]float64{},
+		absolute: map[string]uint64{}}
+}
+
+// Set records a measurement for (row, variant).
+func (t *Table) Set(row string, v confllvm.Variant, value uint64) {
+	if _, ok := t.cells[row]; !ok {
+		t.cells[row] = map[confllvm.Variant]float64{}
+		t.rowNames = append(t.rowNames, row)
+	}
+	t.cells[row][v] = float64(value)
+	if v == confllvm.VariantBase {
+		t.absolute[row] = value
+	}
+}
+
+// Overhead returns a variant's cell as percent overhead relative to Base
+// for a row (positive = slower, or lower throughput when HigherIsBetter).
+func (t *Table) Overhead(row string, v confllvm.Variant) float64 {
+	base := t.cells[row][confllvm.VariantBase]
+	val := t.cells[row][v]
+	if base == 0 || val == 0 {
+		return 0
+	}
+	if t.HigherIsBetter {
+		return (base/val - 1) * 100
+	}
+	return (val/base - 1) * 100
+}
+
+// String renders the table like the paper's figures: percent of Base per
+// configuration with the absolute baseline annotated.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", t.Title)
+	fmt.Fprintf(&b, "%-14s", "workload")
+	for _, v := range t.Columns {
+		fmt.Fprintf(&b, "%14v", v)
+	}
+	fmt.Fprintf(&b, "%16s\n", "Base("+t.Unit+")")
+	rows := append([]string{}, t.rowNames...)
+	sort.Strings(rows)
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-14s", r)
+		base := t.cells[r][confllvm.VariantBase]
+		for _, v := range t.Columns {
+			if base == 0 {
+				fmt.Fprintf(&b, "%14s", "-")
+				continue
+			}
+			fmt.Fprintf(&b, "%13.1f%%", t.cells[r][v]/base*100)
+		}
+		fmt.Fprintf(&b, "%16d\n", t.absolute[r])
+	}
+	return b.String()
+}
+
+// GeoMeanOverhead computes the geometric-mean ratio (vs Base) across rows
+// for one variant, returned as percent overhead.
+func (t *Table) GeoMeanOverhead(v confllvm.Variant) float64 {
+	prod := 1.0
+	n := 0
+	for _, r := range t.rowNames {
+		base := t.cells[r][confllvm.VariantBase]
+		val := t.cells[r][v]
+		if base == 0 || val == 0 {
+			continue
+		}
+		prod *= val / base
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return (math.Pow(prod, 1.0/float64(n)) - 1) * 100
+}

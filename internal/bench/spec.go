@@ -1,0 +1,423 @@
+package bench
+
+// SPECKernel is one CPU-bound miniC workload standing in for a SPEC CPU
+// 2006 benchmark. The kernels are chosen to cover the instruction-mix axes
+// that drive the paper's per-benchmark variance in Fig. 5: pointer chasing
+// (mcf), regular integer DP (hmmer), compression (bzip2), recursion/branchy
+// search (sjeng, gobmk), streaming array math (libquantum), integer
+// multiply-heavy transforms (h264) and floating-point stencils with heavy
+// allocation (milc).
+type SPECKernel struct {
+	Name   string
+	Src    string
+	Params []int64 // input(0), input(1), ...
+	Want   int64   // expected checksum (validated by tests)
+}
+
+// SPECKernels returns the suite in report order.
+func SPECKernels() []SPECKernel {
+	return []SPECKernel{
+		{
+			Name:   "bzip2",
+			Params: []int64{1 << 13, 6},
+			Want:   -1, // computed by the golden test
+			Src: `
+extern long input(int idx);
+extern void output(long v);
+extern void *malloc(long size);
+long seed = 42;
+long u_rand(long *state);
+
+/* RLE + move-to-front over a pseudo-random buffer. */
+int main() {
+	long n = input(0);
+	long iters = input(1);
+	char *buf = (char*)malloc(n);
+	char *out = (char*)malloc(2 * n);
+	char mtf[256];
+	long i;
+	long it;
+	long check = 0;
+	for (i = 0; i < n; i++) buf[i] = (char)(u_rand(&seed) % 17);
+	for (it = 0; it < iters; it++) {
+		for (i = 0; i < 256; i++) mtf[i] = (char)i;
+		long o = 0;
+		long run = 1;
+		for (i = 1; i <= n; i++) {
+			if (i < n && buf[i] == buf[i-1]) { run++; continue; }
+			/* move-to-front encode the symbol */
+			int sym = buf[i-1] & 255;
+			int j = 0;
+			while ((mtf[j] & 255) != sym) j++;
+			int k;
+			for (k = j; k > 0; k--) mtf[k] = mtf[k-1];
+			mtf[0] = (char)sym;
+			out[o] = (char)j; o++;
+			out[o] = (char)run; o++;
+			run = 1;
+		}
+		check += o;
+		for (i = 0; i < o; i += 97) check += out[i];
+	}
+	output(check);
+	return 0;
+}
+`,
+		},
+		{
+			Name:   "mcf",
+			Params: []int64{1 << 11, 24},
+			Src: `
+extern long input(int idx);
+extern void output(long v);
+extern void *malloc(long size);
+long seed = 7;
+long u_rand(long *state);
+
+struct arc { int to; int cost; int next; };
+
+/* Bellman-Ford relaxation over a sparse random graph: pointer chasing. */
+int main() {
+	long n = input(0);
+	long rounds = input(1);
+	long m = 4 * n;
+	int *head = (int*)malloc(n * 4);
+	long *dist = (long*)malloc(n * 8);
+	struct arc *arcs = (struct arc*)malloc(m * sizeof(struct arc));
+	long i;
+	for (i = 0; i < n; i++) head[i] = -1;
+	for (i = 0; i < m; i++) {
+		long from = u_rand(&seed) % n;
+		arcs[i].to = (int)(u_rand(&seed) % n);
+		arcs[i].cost = (int)(u_rand(&seed) % 100) + 1;
+		arcs[i].next = head[from];
+		head[from] = (int)i;
+	}
+	for (i = 0; i < n; i++) dist[i] = 1000000000;
+	dist[0] = 0;
+	long r;
+	long relaxed = 0;
+	for (r = 0; r < rounds; r++) {
+		long u;
+		for (u = 0; u < n; u++) {
+			if (dist[u] >= 1000000000) continue;
+			int a = head[u];
+			while (a >= 0) {
+				long nd = dist[u] + arcs[a].cost;
+				if (nd < dist[arcs[a].to]) { dist[arcs[a].to] = nd; relaxed++; }
+				a = arcs[a].next;
+			}
+		}
+	}
+	long check = relaxed;
+	for (i = 0; i < n; i += 37) check += dist[i] % 1009;
+	output(check);
+	return 0;
+}
+`,
+		},
+		{
+			Name:   "gobmk",
+			Params: []int64{19, 420},
+			Src: `
+extern long input(int idx);
+extern void output(long v);
+long seed = 99;
+long u_rand(long *state);
+
+int board[361];
+int marks[361];
+
+/* Flood-fill liberty counting on a Go board: branchy, irregular. */
+int liberties(int size, int pos, int color, int depth) {
+	if (depth > 80) return 0;
+	int libs = 0;
+	marks[pos] = 1;
+	int r = pos / size;
+	int c = pos % size;
+	int d;
+	for (d = 0; d < 4; d++) {
+		int nr = r; int nc = c;
+		if (d == 0) nr = r - 1;
+		if (d == 1) nr = r + 1;
+		if (d == 2) nc = c - 1;
+		if (d == 3) nc = c + 1;
+		if (nr < 0 || nr >= size || nc < 0 || nc >= size) continue;
+		int np = nr * size + nc;
+		if (marks[np]) continue;
+		if (board[np] == 0) { libs++; marks[np] = 1; }
+		else if (board[np] == color) libs += liberties(size, np, color, depth + 1);
+	}
+	return libs;
+}
+
+int main() {
+	int size = (int)input(0);
+	long plays = input(1);
+	int cells = size * size;
+	long check = 0;
+	long p;
+	for (p = 0; p < plays; p++) {
+		int pos = (int)(u_rand(&seed) % cells);
+		int color = 1 + (int)(u_rand(&seed) % 2);
+		if (board[pos] == 0) board[pos] = color;
+		int i;
+		for (i = 0; i < cells; i++) marks[i] = 0;
+		check += liberties(size, pos, board[pos], 0);
+	}
+	output(check);
+	return 0;
+}
+`,
+		},
+		{
+			Name:   "hmmer",
+			Params: []int64{160, 360},
+			Src: `
+extern long input(int idx);
+extern void output(long v);
+extern void *malloc(long size);
+long seed = 5;
+long u_rand(long *state);
+
+/* Viterbi-style dynamic programming: dense regular integer loops. */
+int main() {
+	long states = input(0);
+	long seqlen = input(1);
+	long *prev = (long*)malloc(states * 8);
+	long *cur = (long*)malloc(states * 8);
+	long *emit = (long*)malloc(states * 8);
+	long *trans = (long*)malloc(states * 8);
+	long i;
+	for (i = 0; i < states; i++) {
+		prev[i] = u_rand(&seed) % 100;
+		emit[i] = u_rand(&seed) % 50;
+		trans[i] = u_rand(&seed) % 20;
+	}
+	long t;
+	for (t = 0; t < seqlen; t++) {
+		for (i = 0; i < states; i++) {
+			long best = prev[i];
+			long stay = prev[(i + states - 1) % states] + trans[i];
+			if (stay > best) best = stay;
+			long jump = prev[(i + 7) % states] - trans[(i + 3) % states];
+			if (jump > best) best = jump;
+			cur[i] = best + emit[(i + t) % states];
+		}
+		long *tmp = prev; prev = cur; cur = tmp;
+	}
+	long check = 0;
+	for (i = 0; i < states; i++) check = (check + prev[i]) % 1000000007;
+	output(check);
+	return 0;
+}
+`,
+		},
+		{
+			Name:   "sjeng",
+			Params: []int64{5, 130},
+			Src: `
+extern long input(int idx);
+extern void output(long v);
+long seed = 3;
+long u_rand(long *state);
+
+long nodes = 0;
+
+/* Alpha-beta-ish game tree search with a cheap evaluator: recursion and
+ * unpredictable branches. */
+long search(long hash, int depth, long alpha, long beta) {
+	nodes++;
+	if (depth == 0) {
+		long e = (hash * 2654435761) % 4096 - 2048;
+		return e;
+	}
+	int moves = 3 + (int)(hash % 5);
+	int m;
+	long best = -1000000;
+	for (m = 0; m < moves; m++) {
+		long child = hash * 31 + m * 17 + depth;
+		long v = -search(child, depth - 1, -beta, -alpha);
+		if (v > best) best = v;
+		if (v > alpha) alpha = v;
+		if (alpha >= beta) break;
+	}
+	return best;
+}
+
+int main() {
+	int depth = (int)input(0);
+	long roots = input(1);
+	long r;
+	long check = 0;
+	for (r = 0; r < roots; r++) {
+		long h = u_rand(&seed);
+		check += search(h % 100000, depth, -1000000, 1000000) % 8191;
+	}
+	output(check + nodes % 65536);
+	return 0;
+}
+`,
+		},
+		{
+			Name:   "libquantum",
+			Params: []int64{1 << 12, 40},
+			Src: `
+extern long input(int idx);
+extern void output(long v);
+extern void *malloc(long size);
+
+/* Quantum register simulation on fixed-point amplitudes: streaming array
+ * passes (libquantum's profile). */
+int main() {
+	long n = input(0);
+	long gates = input(1);
+	long *re = (long*)malloc(n * 8);
+	long *im = (long*)malloc(n * 8);
+	long i;
+	for (i = 0; i < n; i++) { re[i] = (i * 37) % 1000; im[i] = (i * 73) % 1000; }
+	long g;
+	for (g = 0; g < gates; g++) {
+		long target = g % 12;
+		long mask = 1 << target;
+		for (i = 0; i < n; i++) {
+			if ((i & mask) == 0) {
+				long j = i | mask;
+				if (j < n) {
+					long ar = re[i]; long ai = im[i];
+					long br = re[j]; long bi = im[j];
+					re[i] = (ar + br) / 2 + 1;
+					im[i] = (ai + bi) / 2;
+					re[j] = (ar - br) / 2;
+					im[j] = (ai - bi) / 2 + 1;
+				}
+			}
+		}
+	}
+	long check = 0;
+	for (i = 0; i < n; i += 13) check = (check + re[i] * 3 + im[i]) % 1000000007;
+	output(check);
+	return 0;
+}
+`,
+		},
+		{
+			Name:   "h264",
+			Params: []int64{96, 40},
+			Src: `
+extern long input(int idx);
+extern void output(long v);
+extern void *malloc(long size);
+long seed = 11;
+long u_rand(long *state);
+
+int blkin[64];
+int blkout[64];
+
+/* 8x8 integer DCT-like butterflies plus sum-of-absolute-differences
+ * motion search: multiply-heavy integer code. */
+void dct8(int *in, int *out) {
+	int i;
+	int j;
+	for (i = 0; i < 8; i++) {
+		for (j = 0; j < 8; j++) {
+			int k;
+			int acc = 0;
+			for (k = 0; k < 8; k++) {
+				int c = (i * k) % 7 - 3;
+				acc += in[k * 8 + j] * c;
+			}
+			out[i * 8 + j] = acc >> 2;
+		}
+	}
+}
+
+int main() {
+	long dim = input(0);
+	long frames = input(1);
+	long pix = dim * dim;
+	char *cur = (char*)malloc(pix);
+	char *ref = (char*)malloc(pix);
+	long i;
+	for (i = 0; i < pix; i++) {
+		cur[i] = (char)(u_rand(&seed) % 255);
+		ref[i] = (char)(u_rand(&seed) % 255);
+	}
+	long f;
+	long check = 0;
+	for (f = 0; f < frames; f++) {
+		long bx;
+		for (bx = 0; bx + 8 <= dim; bx += 8) {
+			long by;
+			for (by = 0; by + 8 <= dim; by += 8) {
+				int x;
+				int y;
+				long sad = 0;
+				for (y = 0; y < 8; y++) {
+					for (x = 0; x < 8; x++) {
+						long p = (by + y) * dim + bx + x;
+						int d = (cur[p] & 255) - (ref[p] & 255);
+						if (d < 0) d = -d;
+						sad += d;
+						blkin[y * 8 + x] = cur[p] & 255;
+					}
+				}
+				dct8(blkin, blkout);
+				check = (check + sad + blkout[(bx + by) % 64]) % 1000000007;
+			}
+		}
+	}
+	output(check);
+	return 0;
+}
+`,
+		},
+		{
+			Name:   "milc",
+			Params: []int64{40, 24},
+			Src: `
+extern long input(int idx);
+extern void output(long v);
+extern void *malloc(long size);
+extern void free(void *p);
+
+/* FP stencil sweeps over lattice fields with per-sweep temporary
+ * allocation: exercises both the FPU and the allocator (milc's profile,
+ * where the custom allocator visibly helps). */
+int main() {
+	long dim = input(0);
+	long sweeps = input(1);
+	long n = dim * dim;
+	double *field = (double*)malloc(n * 8);
+	long i;
+	for (i = 0; i < n; i++) field[i] = (double)(i % 17) * 0.25;
+	long s;
+	double acc = 0.0;
+	for (s = 0; s < sweeps; s++) {
+		double *tmp = (double*)malloc(n * 8);
+		long r;
+		for (r = 1; r < dim - 1; r++) {
+			long c;
+			for (c = 1; c < dim - 1; c++) {
+				long p = r * dim + c;
+				tmp[p] = 0.25 * (field[p-1] + field[p+1] + field[p-dim] + field[p+dim])
+				       + 0.5 * field[p];
+			}
+		}
+		for (r = 1; r < dim - 1; r++) {
+			long c;
+			for (c = 1; c < dim - 1; c++) {
+				long p = r * dim + c;
+				field[p] = tmp[p] * 0.999;
+			}
+		}
+		acc = acc + field[(s * 7) % n];
+		free(tmp);
+	}
+	output((long)(acc * 1000.0));
+	return 0;
+}
+`,
+		},
+	}
+}

@@ -1,0 +1,75 @@
+package bench
+
+import (
+	"testing"
+
+	"confllvm"
+)
+
+// TestSPECKernelsCrossVariant runs every kernel in every configuration and
+// requires bit-identical outputs: the instrumentation must never change
+// program semantics.
+func TestSPECKernelsCrossVariant(t *testing.T) {
+	for _, k := range SPECKernels() {
+		k := k
+		t.Run(k.Name, func(t *testing.T) {
+			var golden []int64
+			for _, v := range confllvm.AllVariants() {
+				m, err := RunSPEC(k, v)
+				if err != nil {
+					t.Fatalf("[%v] %v", v, err)
+				}
+				if len(m.Outputs) == 0 {
+					t.Fatalf("[%v] no output", v)
+				}
+				if golden == nil {
+					golden = m.Outputs
+					continue
+				}
+				if len(m.Outputs) != len(golden) {
+					t.Fatalf("[%v] output arity mismatch", v)
+				}
+				for i := range golden {
+					if m.Outputs[i] != golden[i] {
+						t.Errorf("[%v] output[%d] = %d, want %d (semantics changed by instrumentation)",
+							v, i, m.Outputs[i], golden[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSPECOverheadShape checks the headline shape of Fig. 5: the MPX
+// scheme costs more than the segmentation scheme, CFI adds a small
+// overhead over Bare, and everything instrumented is slower than Base.
+func TestSPECOverheadShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cross-variant sweep is slow")
+	}
+	tbl := NewTable("Fig5", confllvm.AllVariants()[:6], "cycles")
+	for _, k := range SPECKernels() {
+		for _, v := range []confllvm.Variant{confllvm.VariantBase, confllvm.VariantBare,
+			confllvm.VariantCFI, confllvm.VariantMPX, confllvm.VariantSeg} {
+			m, err := RunSPEC(k, v)
+			if err != nil {
+				t.Fatalf("[%v/%s] %v", v, k.Name, err)
+			}
+			tbl.Set(k.Name, v, m.Wall)
+		}
+	}
+	mpx := tbl.GeoMeanOverhead(confllvm.VariantMPX)
+	seg := tbl.GeoMeanOverhead(confllvm.VariantSeg)
+	cfi := tbl.GeoMeanOverhead(confllvm.VariantCFI)
+	bare := tbl.GeoMeanOverhead(confllvm.VariantBare)
+	t.Logf("geomean overheads: Bare=%.1f%% CFI=%.1f%% MPX=%.1f%% Seg=%.1f%%", bare, cfi, mpx, seg)
+	if mpx <= seg {
+		t.Errorf("MPX overhead (%.1f%%) should exceed segmentation overhead (%.1f%%)", mpx, seg)
+	}
+	if cfi < bare {
+		t.Errorf("CFI overhead (%.1f%%) should be at least Bare overhead (%.1f%%)", cfi, bare)
+	}
+	if mpx <= 0 || seg <= 0 {
+		t.Errorf("instrumented configs must cost something: MPX=%.1f%% Seg=%.1f%%", mpx, seg)
+	}
+}

@@ -1,0 +1,132 @@
+// Package bench contains the miniC workloads and the measurement harness
+// that regenerate every table and figure of the paper's evaluation (§7).
+package bench
+
+// ULib is the U-side C library: like the paper, routines such as memcpy
+// and sprintf live in *untrusted* code (§2: "even sprintf and memcpy
+// would be in U"). Programs that need it append it as an extra source.
+const ULib = `
+extern void log_write(char *buf, int size);
+
+void *memcpy(void *dstv, void *srcv, long n) {
+	char *dst = (char*)dstv;
+	char *src = (char*)srcv;
+	long i;
+	for (i = 0; i < n; i++) dst[i] = src[i];
+	return dstv;
+}
+
+void memcpy_priv(private char *dst, private char *src, long n) {
+	long i;
+	for (i = 0; i < n; i++) dst[i] = src[i];
+}
+
+void *memset(void *pv, int v, long n) {
+	char *p = (char*)pv;
+	long i;
+	for (i = 0; i < n; i++) p[i] = (char)v;
+	return pv;
+}
+
+int strlen(char *s) {
+	int n = 0;
+	while (s[n]) n++;
+	return n;
+}
+
+int strcmp(char *a, char *b) {
+	int i = 0;
+	while (a[i] && b[i] && a[i] == b[i]) i++;
+	return a[i] - b[i];
+}
+
+char *strcpy(char *dst, char *src) {
+	int i = 0;
+	while (src[i]) { dst[i] = src[i]; i++; }
+	dst[i] = 0;
+	return dst;
+}
+
+/* Formats a signed decimal into out, returns chars written. */
+int u_itoa(char *out, long v) {
+	char tmp[24];
+	int n = 0;
+	int i;
+	int neg = 0;
+	if (v < 0) { neg = 1; v = -v; }
+	if (v == 0) { tmp[n] = '0'; n++; }
+	while (v > 0) { tmp[n] = (char)('0' + v % 10); n++; v = v / 10; }
+	i = 0;
+	if (neg) { out[0] = '-'; i = 1; }
+	while (n > 0) { n--; out[i] = tmp[n]; i++; }
+	return i;
+}
+
+int u_xtoa(char *out, long v) {
+	char tmp[20];
+	int n = 0;
+	int i;
+	if (v == 0) { tmp[n] = '0'; n++; }
+	while (v != 0) {
+		int d = (int)(v & 15);
+		if (d < 10) tmp[n] = (char)('0' + d);
+		else tmp[n] = (char)('a' + d - 10);
+		n++;
+		v = (long)((unsigned long)v >> 4);
+	}
+	i = 0;
+	while (n > 0) { n--; out[i] = tmp[n]; i++; }
+	return i;
+}
+
+/* vsprintf core: supports %d %x %s %c %%. ap points at the first vararg
+ * slot of the *caller of the caller*, so both sprintf and printf share it. */
+int u_format(char *out, char *fmt, char *ap) {
+	int o = 0;
+	int i = 0;
+	while (fmt[i]) {
+		if (fmt[i] != '%') { out[o] = fmt[i]; o++; i++; continue; }
+		i++;
+		if (fmt[i] == 'd') {
+			long v = *(long*)ap; ap = ap + 8;
+			o += u_itoa(out + o, v);
+		} else if (fmt[i] == 'x') {
+			long v = *(long*)ap; ap = ap + 8;
+			o += u_xtoa(out + o, v);
+		} else if (fmt[i] == 's') {
+			char *s = *(char**)ap; ap = ap + 8;
+			int k = 0;
+			while (s[k]) { out[o] = s[k]; o++; k++; }
+		} else if (fmt[i] == 'c') {
+			long v = *(long*)ap; ap = ap + 8;
+			out[o] = (char)v; o++;
+		} else if (fmt[i] == '%') {
+			out[o] = '%'; o++;
+		}
+		i++;
+	}
+	out[o] = 0;
+	return o;
+}
+
+int sprintf(char *out, char *fmt, ...) {
+	char *ap = __va_start();
+	return u_format(out, fmt, ap);
+}
+
+char u_printf_buf[512];
+
+int printf(char *fmt, ...) {
+	char *ap = __va_start();
+	int n = u_format(u_printf_buf, fmt, ap);
+	log_write(u_printf_buf, n);
+	return n;
+}
+
+long u_rand(long *state) {
+	long x = *state;
+	x = x * 6364136223846793005 + 1442695040888963407;
+	*state = x;
+	return (long)((unsigned long)x >> 33);
+}
+`

@@ -1,0 +1,157 @@
+package bench
+
+import (
+	"confllvm"
+)
+
+// ---- §7.6 vulnerability-injection programs ----
+//
+// Each program contains a hand-crafted confidentiality exploit. Under the
+// Base configuration the exploit leaks the secret to an observable channel
+// (the network or the log); under full ConfLLVM (MPX or Seg) the leak is
+// prevented — either silently (the attacker reads the wrong stack) or by a
+// runtime fault.
+
+// VulnMongooseSrc is the Mongoose stale-stack-data exploit: a request for
+// a private file writes its contents into a stack buffer; a later request
+// for a public file replies with an attacker-controlled *oversized*
+// length, sending stale stack memory. With ConfLLVM the private file
+// contents were on the private stack, so the over-send only exposes the
+// public stack.
+const VulnMongooseSrc = `
+extern long input(int idx);
+extern int read_file(char *name, char *buf, int size);
+extern int read_file_priv(char *name, private char *buf, int size);
+extern int send(int fd, char *buf, int size);
+extern void output(long v);
+
+/* Request 1: serve a private file over https (stages contents on the
+ * stack, sends nothing in clear). */
+void serve_private(void) {
+	private char staging[256];
+	char name[8];
+	name[0] = 's'; name[1] = 0;
+	int n = read_file_priv(name, staging, 256);
+	/* ... processed and sent over TLS by T; the buffer simply dies ... */
+	output(n);
+}
+
+/* Request 2: serve a small public file from the connection's I/O buffer,
+ * with the response length taken from the (attacker-controlled) request. */
+void serve_public(int resp_len) {
+	char iobuf[512];
+	char name[8];
+	name[0] = 'p'; name[1] = 0;
+	int n = read_file(name, iobuf, 16);
+	/* BUG: sends resp_len bytes although only n were filled; the stale
+	 * remainder of the I/O buffer goes out in clear. */
+	if (resp_len > n) n = resp_len;
+	send(1, iobuf, n);
+}
+
+int main() {
+	long evil_len = input(0);
+	serve_private();
+	serve_public((int)evil_len);
+	return 0;
+}
+`
+
+// VulnMinizipSrc is the Minizip password-leak: the encryption password is
+// private, but a chain of pointer casts makes the leak invisible to the
+// static analysis (as the paper constructed); the runtime region checks
+// must stop it.
+const VulnMinizipSrc = `
+extern void read_passwd(char *uname, private char *pass, int size);
+extern void log_write(char *buf, int size);
+extern void output(long v);
+
+private char password[32];
+char logline[64];
+
+int main() {
+	char uname[8];
+	uname[0] = 'u'; uname[1] = 0;
+	read_passwd(uname, password, 32);
+	/* BUG: launder the private pointer through casts, then copy the
+	 * password into the public log line. */
+	char *laundered = (char*)(void*)(long)(private char*)password;
+	int i;
+	for (i = 0; i < 32; i++) logline[i] = laundered[i];
+	log_write(logline, 32);
+	output(1);
+	return 0;
+}
+`
+
+// VulnPrintfSrc is the format-string exploit: printf (in U) walks the
+// vararg area guided by an attacker-style format string with more
+// directives than arguments, reading adjacent stack slots. Under Base the
+// secret key sits on the same stack; under ConfLLVM it lives on the
+// private stack and the overread sees only public slots.
+const VulnPrintfSrc = `
+extern long input(int idx);
+extern void input_priv(int idx, private char *buf, int size);
+extern void output(long v);
+
+int printf(char *fmt, ...);
+
+int main() {
+	private long secret[2];
+	input_priv(0, (private char*)secret, 16);
+	/* one argument, eight directives: printf overreads the stack */
+	printf("%x %x %x %x %x %x %x %x", (long)7);
+	output(1);
+	return 0;
+}
+`
+
+// VulnResult is the outcome of running one exploit.
+type VulnResult struct {
+	Leaked  bool // secret bytes visible on an attacker channel
+	Faulted bool // runtime enforcement stopped execution
+	Res     *confllvm.Result
+}
+
+// RunVuln executes one of the exploit programs and reports whether the
+// secret leaked. secret is what the attacker hopes to observe.
+func RunVuln(name, src string, v confllvm.Variant, w *confllvm.World, secret []byte) (*VulnResult, error) {
+	prog := confllvm.Program{Sources: []confllvm.Source{
+		{Name: name + ".c", Code: src},
+		{Name: "ulib.c", Code: ULib},
+	}}
+	art, err := CompileCached("vuln-"+name, v, prog)
+	if err != nil {
+		return nil, err
+	}
+	res, err := confllvm.Run(art, w, nil)
+	if err != nil {
+		return nil, err
+	}
+	vr := &VulnResult{Res: res, Faulted: res.Fault != nil}
+	obs := append([]byte{}, res.Log...)
+	for _, pkt := range res.NetOut {
+		obs = append(obs, pkt...)
+	}
+	vr.Leaked = containsBytes(obs, secret)
+	return vr, nil
+}
+
+func containsBytes(hay, needle []byte) bool {
+	if len(needle) == 0 || len(hay) < len(needle) {
+		return false
+	}
+	for i := 0; i+len(needle) <= len(hay); i++ {
+		match := true
+		for j := range needle {
+			if hay[i+j] != needle[j] {
+				match = false
+				break
+			}
+		}
+		if match {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,19 @@
+package bench
+
+import (
+	"testing"
+
+	"confllvm"
+)
+
+func TestWebSmoke(t *testing.T) {
+	for _, v := range confllvm.AllVariants() {
+		m, err := RunWebServer(v, 5, 2048)
+		if err != nil {
+			t.Fatalf("[%v] %v", v, err)
+		}
+		if len(m.Res.NetOut) != 5 {
+			t.Fatalf("[%v] %d responses", v, len(m.Res.NetOut))
+		}
+	}
+}

@@ -1,0 +1,571 @@
+// Package codegen lowers taint-resolved IR to the abstract x64 ISA and
+// inserts ConfLLVM's runtime instrumentation:
+//
+//   - the split public/private stack frame at a compile-time OFFSET (§3);
+//   - MPX bound checks with the paper's optimizations — register-operand
+//     preference, guard-displacement elision, rsp-check elision under
+//     _chkstk discipline, and block-local check coalescing (§5.1);
+//   - segment-register addressing with the 32-bit operand constraint (§3);
+//   - taint-aware CFI magic sequences on entries, returns and indirect
+//     calls (§4).
+package codegen
+
+import (
+	"fmt"
+
+	"confllvm/internal/asm"
+	"confllvm/internal/ir"
+	"confllvm/internal/regalloc"
+	"confllvm/internal/taint"
+	"confllvm/internal/types"
+)
+
+// Bounds selects the memory-bounds enforcement scheme.
+type Bounds uint8
+
+const (
+	BoundsNone Bounds = iota
+	BoundsMPX
+	BoundsSeg
+)
+
+// Config selects the instrumentation of one compilation.
+type Config struct {
+	// CFI enables taint-aware CFI (magic sequences + checked returns and
+	// indirect calls).
+	CFI bool
+	// Bounds selects the region-confinement scheme.
+	Bounds Bounds
+	// SeparateStacks places private stack data at OFFSET from the public
+	// stack. When false (the paper's OurMPX-Sep ablation), the private
+	// frame is laid out contiguously after the public frame on the single
+	// stack.
+	SeparateStacks bool
+	// SeparateUT isolates T's memory from U and switches stacks on every
+	// U->T transition (false = the paper's Our1Mem ablation).
+	SeparateUT bool
+	// IgnoreTaint compiles like a vanilla compiler: one stack, no private
+	// placement (the Base/BaseOA configurations).
+	IgnoreTaint bool
+	// ChkStk emits the inlined _chkstk rsp discipline, which also enables
+	// eliding bound checks on rsp-relative operands.
+	ChkStk bool
+	// NoMPXOpt disables the paper's §5.1 MPX optimizations (rsp-check
+	// elision and block-local check coalescing) — the ablation baseline.
+	NoMPXOpt bool
+	// StackOffset is the public->private stack distance (the paper's
+	// OFFSET). Must match the loader's layout.
+	StackOffset int64
+}
+
+// RelKind classifies link-time relocations on emitted items.
+type RelKind uint8
+
+const (
+	RelNone         RelKind = iota
+	RelFunc                 // Imm <- entry address of Sym
+	RelFuncPtr              // Imm <- function-pointer value of Sym (magic word addr under CFI, entry otherwise)
+	RelGlobal               // Imm <- address of data symbol Sym
+	RelBlock                // Imm <- address of local block Blk
+	RelTrap                 // Imm <- address of this function's trap site
+	RelExtSlot              // Imm <- address of externals-table slot for Sym
+	RelRetMagicNot          // Imm <- ^(MRet magic | bits): patched by linker
+	RelCallMagicNot         // Imm <- ^(MCall magic | bits): patched by linker
+)
+
+// Item is one emitted element: an instruction or an 8-byte magic word.
+type Item struct {
+	Inst  asm.Inst
+	Rel   RelKind
+	Sym   string
+	Blk   int
+	Label int // block id starting at this item, or -1
+	// Magic marks this item as an 8-byte magic word (Inst unused).
+	Magic     bool
+	MagicCall bool  // MCall vs MRet
+	MagicBits uint8 // low 5 taint bits
+}
+
+// FuncCode is the generated code of one function.
+type FuncCode struct {
+	Name     string
+	Items    []Item
+	ArgBits  uint8 // 4 argument taints | ret taint << 4
+	RetBit   uint8
+	IsStub   bool
+	Variadic bool
+}
+
+// Module is the code-generation result for all of U.
+type Module struct {
+	Funcs   []*FuncCode
+	Globals []*ir.Global
+	// GlobalRegion records the resolved region of each global (true =
+	// private).
+	GlobalRegion map[string]bool
+	Externs      []string // extern (T) function names, externals-table order
+	Config       Config
+}
+
+// Gen generates code for the whole module under the given configuration.
+func Gen(mod *ir.Module, a *taint.Assignment, conf Config) (*Module, error) {
+	out := &Module{
+		Globals:      mod.Globals,
+		GlobalRegion: map[string]bool{},
+		Config:       conf,
+	}
+	for _, g := range mod.Globals {
+		private := !conf.IgnoreTaint && a.IsPrivate(g.Type.Qual)
+		out.GlobalRegion[g.Name] = private
+	}
+	extIndex := map[string]int{}
+	for _, f := range mod.Funcs {
+		if f.Extern {
+			extIndex[f.Name] = len(out.Externs)
+			out.Externs = append(out.Externs, f.Name)
+		}
+	}
+	for _, f := range mod.Funcs {
+		if f.Extern {
+			out.Funcs = append(out.Funcs, genStub(f, a, conf, extIndex[f.Name]))
+			continue
+		}
+		if f.Blocks == nil {
+			return nil, fmt.Errorf("codegen: function %s declared but never defined", f.Name)
+		}
+		fc, err := genFunc(mod, f, a, conf)
+		if err != nil {
+			return nil, err
+		}
+		out.Funcs = append(out.Funcs, fc)
+	}
+	return out, nil
+}
+
+// argBits computes the 5 CFI taint bits for a function signature:
+// bit i (i<4) = taint of argument register i, bit 4 = taint of the return
+// register. Unused argument registers are conservatively private (§4).
+func argBits(f *ir.Func, a *taint.Assignment, conf Config) uint8 {
+	if conf.IgnoreTaint {
+		return 0
+	}
+	var bits uint8
+	for i := 0; i < 4; i++ {
+		private := true // unused arg registers are conservatively private
+		if !f.Variadic && i < len(f.Params) {
+			private = a.IsPrivate(f.Params[i].Qual)
+		}
+		if private {
+			bits |= 1 << i
+		}
+	}
+	if retBit(f, a) == 1 {
+		bits |= 1 << 4
+	}
+	return bits
+}
+
+func retBit(f *ir.Func, a *taint.Assignment) uint8 {
+	if f.Ret == nil || f.Ret.Kind == types.Void {
+		return 1 // dead return register: conservatively private
+	}
+	if a.IsPrivate(f.Ret.Qual) {
+		return 1
+	}
+	return 0
+}
+
+// genStub generates the U-side stub for an extern T function: a magic-
+// prefixed entry that jumps through the externals table (§6).
+func genStub(f *ir.Func, a *taint.Assignment, conf Config, slot int) *FuncCode {
+	fc := &FuncCode{Name: f.Name, IsStub: true, Variadic: f.Variadic}
+	fc.ArgBits = argBits(f, a, conf)
+	fc.RetBit = retBit(f, a)
+	if conf.CFI {
+		fc.Items = append(fc.Items, Item{Magic: true, MagicCall: true, MagicBits: fc.ArgBits, Label: -1})
+	}
+	// mov r11, &externals[slot] ; load r11, [r11] ; jmp r11
+	fc.emit(asm.Inst{Op: asm.OpMovRI, Dst: regalloc.ScratchB}, RelExtSlot, f.Name)
+	mem := asm.Mem{Base: regalloc.ScratchB, Index: asm.NoReg, Size: 8}
+	if conf.Bounds == BoundsSeg {
+		mem.Seg = asm.SegFS
+		mem.Use32 = true
+	}
+	fc.emit(asm.Inst{Op: asm.OpLoad, Dst: regalloc.ScratchB, M: mem}, RelNone, "")
+	fc.emit(asm.Inst{Op: asm.OpJmpR, Src: regalloc.ScratchB}, RelNone, "")
+	return fc
+}
+
+func (fc *FuncCode) emit(in asm.Inst, rel RelKind, sym string) {
+	fc.Items = append(fc.Items, Item{Inst: in, Rel: rel, Sym: sym, Label: -1})
+}
+
+// ctx is the per-function emission context.
+type ctx struct {
+	mod  *ir.Module
+	f    *ir.Func
+	a    *taint.Assignment
+	conf Config
+	ra   *regalloc.Result
+	fc   *FuncCode
+
+	frameSize    int
+	outArgBytes  int
+	pubSpillOff  int
+	privSpillOff int
+	pubAllocaOff map[*ir.Alloca]int
+	privBase     int64 // displacement from rsp to the private frame
+	numSaved     int
+
+	// coalescing state for MPX checks: keys of checks already emitted in
+	// the current basic block.
+	checked map[checkKey]bool
+}
+
+type checkKey struct {
+	reg asm.Reg
+	bnd asm.Bnd
+}
+
+func genFunc(mod *ir.Module, f *ir.Func, a *taint.Assignment, conf Config) (*FuncCode, error) {
+	isPrivate := func(v ir.Value) bool {
+		if conf.IgnoreTaint {
+			return false
+		}
+		t := f.ValueType(v)
+		return t != nil && a.IsPrivate(t.Qual)
+	}
+	isFloat := func(v ir.Value) bool {
+		t := f.ValueType(v)
+		return t != nil && t.Kind == types.Float
+	}
+	ra := regalloc.Allocate(f, isPrivate, isFloat)
+
+	c := &ctx{
+		mod: mod, f: f, a: a, conf: conf, ra: ra,
+		fc:           &FuncCode{Name: f.Name, Variadic: f.Variadic},
+		pubAllocaOff: map[*ir.Alloca]int{},
+		checked:      map[checkKey]bool{},
+	}
+	c.fc.ArgBits = argBits(f, a, conf)
+	c.fc.RetBit = retBit(f, a)
+	c.numSaved = len(ra.UsedCalleeSaved)
+
+	c.layoutFrame()
+
+	if conf.CFI {
+		c.fc.Items = append(c.fc.Items, Item{Magic: true, MagicCall: true,
+			MagicBits: c.fc.ArgBits, Label: -1})
+	}
+	c.prologue()
+	for _, blk := range f.Blocks {
+		c.checked = map[checkKey]bool{}
+		first := len(c.fc.Items)
+		for _, in := range blk.Insts {
+			if err := c.lower(in); err != nil {
+				return nil, fmt.Errorf("codegen %s: %w", f.Name, err)
+			}
+		}
+		// Attach the block label to the first emitted item (emit a nop
+		// for empty blocks so the label lands somewhere).
+		if first == len(c.fc.Items) {
+			c.emit(asm.Inst{Op: asm.OpNop})
+		}
+		c.fc.Items[first].Label = blk.ID
+	}
+	if conf.CFI {
+		// Shared trap site.
+		trapIdx := len(c.fc.Items)
+		c.emit(asm.Inst{Op: asm.OpTrap})
+		c.fc.Items[trapIdx].Label = trapLabel
+	}
+	return c.fc, nil
+}
+
+// trapLabel is the pseudo block id of the function's trap site.
+const trapLabel = -2
+
+// layoutFrame assigns frame offsets.
+//
+// Public frame (from rsp upward):
+//
+//	[0, outArgBytes)            outgoing argument slots
+//	[outArgBytes, +pubSpills*8) public spill slots
+//	[.., ..)                    public allocas
+//
+// The private frame mirrors the structure at c.privBase (OFFSET when
+// stacks are separated, directly after the public frame otherwise).
+func (c *ctx) layoutFrame() {
+	maxArgs := c.ra.MaxCallArgs
+	out := maxArgs * 8
+	if c.ra.HasCall && out < 4*8 {
+		out = 4 * 8 // room for spilling argument staging
+	}
+	c.outArgBytes = out
+	c.pubSpillOff = out
+	c.privSpillOff = out
+
+	pub := out + c.ra.PubSlots*8
+	// Allocas: assign offsets per region.
+	priv := out + c.ra.PrivSlots*8
+	for _, al := range c.f.Allocas {
+		sz := al.Type.SizeOf()
+		alg := al.Type.Align()
+		if alg < 1 {
+			alg = 1
+		}
+		if c.allocaPrivate(al) {
+			priv = alignUp(priv, alg)
+			al.FrameOff = priv
+			priv += sz
+		} else {
+			pub = alignUp(pub, alg)
+			al.FrameOff = pub
+			pub += sz
+		}
+	}
+	pub = alignUp(pub, 8)
+	priv = alignUp(priv, 8)
+
+	if c.conf.IgnoreTaint {
+		c.frameSize = pub
+		c.privBase = 0
+		return
+	}
+	if c.conf.SeparateStacks {
+		c.privBase = c.conf.StackOffset
+		c.frameSize = pub
+		if priv > pub {
+			c.frameSize = priv
+		}
+	} else {
+		// Single-stack ablation: the private frame sits right after the
+		// public frame.
+		c.privBase = int64(pub)
+		c.frameSize = pub + priv
+	}
+}
+
+func alignUp(n, a int) int { return (n + a - 1) / a * a }
+
+// allocaPrivate reports whether an alloca lives on the private stack.
+func (c *ctx) allocaPrivate(al *ir.Alloca) bool {
+	if c.conf.IgnoreTaint {
+		return false
+	}
+	return c.a.IsPrivate(al.Type.Qual)
+}
+
+func (c *ctx) emit(in asm.Inst) {
+	c.fc.Items = append(c.fc.Items, Item{Inst: in, Label: -1})
+}
+
+func (c *ctx) emitRel(in asm.Inst, rel RelKind, sym string, blk int) {
+	c.fc.Items = append(c.fc.Items, Item{Inst: in, Rel: rel, Sym: sym, Blk: blk, Label: -1})
+}
+
+func (c *ctx) prologue() {
+	for _, r := range c.ra.UsedCalleeSaved {
+		c.emit(asm.Inst{Op: asm.OpPush, Src: r})
+	}
+	if c.frameSize > 0 {
+		c.emit(asm.Inst{Op: asm.OpSubRI, Dst: asm.RSP, Imm: int64(c.frameSize)})
+	}
+	if c.conf.ChkStk {
+		c.emit(asm.Inst{Op: asm.OpChkSP})
+	}
+	c.moveParamsIn()
+}
+
+// incomingArgDisp returns the rsp displacement of incoming stack argument
+// slot i (for variadic functions all arguments are stack slots; for fixed
+// functions slot i corresponds to argument i+4).
+func (c *ctx) incomingArgDisp(slot int) int64 {
+	return int64(c.frameSize + 8*c.numSaved + 8 + 8*slot)
+}
+
+// moveParamsIn transfers incoming arguments to their allocated locations.
+func (c *ctx) moveParamsIn() {
+	f := c.f
+	if f.Variadic {
+		// All parameters arrive on the public stack.
+		for i, pv := range f.ParamRegs {
+			loc := c.ra.Locs[pv]
+			if loc.Kind == regalloc.LocNone {
+				continue
+			}
+			disp := c.incomingArgDisp(i)
+			c.loadStackSlotTo(loc, disp, false)
+		}
+		return
+	}
+	// Register parameters: parallel-move into locations.
+	var moves []move
+	for i, pv := range f.ParamRegs {
+		if i >= 4 {
+			break
+		}
+		loc := c.ra.Locs[pv]
+		if loc.Kind == regalloc.LocNone {
+			continue
+		}
+		moves = append(moves, move{src: asm.ArgRegs[i], dst: loc})
+	}
+	c.parallelMove(moves)
+	// Stack parameters (beyond 4).
+	for i := 4; i < len(f.ParamRegs); i++ {
+		loc := c.ra.Locs[f.ParamRegs[i]]
+		if loc.Kind == regalloc.LocNone {
+			continue
+		}
+		private := !c.conf.IgnoreTaint && c.a.IsPrivate(f.Params[i].Qual)
+		disp := c.incomingArgDisp(i - 4)
+		c.loadStackSlotTo(loc, disp, private)
+	}
+}
+
+// loadStackSlotTo loads an 8-byte stack slot at [rsp+disp] (+private frame
+// if private) into a location.
+func (c *ctx) loadStackSlotTo(loc regalloc.Loc, disp int64, private bool) {
+	mem := c.stackOperand(disp, 8, private)
+	switch loc.Kind {
+	case regalloc.LocReg:
+		c.emit(asm.Inst{Op: asm.OpLoad, Dst: loc.Reg, M: mem})
+	case regalloc.LocFReg:
+		c.emit(asm.Inst{Op: asm.OpFLoad, FDst: loc.FReg, M: mem})
+	case regalloc.LocSlot:
+		c.emit(asm.Inst{Op: asm.OpLoad, Dst: regalloc.ScratchA, M: mem})
+		c.storeLoc(loc, regalloc.ScratchA)
+	}
+}
+
+// stackOperand builds an rsp-relative memory operand in the region
+// selected by private, applying the active scheme's addressing.
+func (c *ctx) stackOperand(disp int64, size uint8, private bool) asm.Mem {
+	m := asm.Mem{Base: asm.RSP, Index: asm.NoReg, Size: size}
+	if private && !c.conf.IgnoreTaint {
+		if c.conf.Bounds == BoundsSeg && c.conf.SeparateStacks {
+			// gs:[esp+disp]: the private stack sits at the same offset
+			// within the private segment.
+			m.Seg = asm.SegGS
+			m.Use32 = true
+			m.Disp = int32(disp)
+			return m
+		}
+		m.Disp = int32(disp + c.privBase)
+		if c.conf.Bounds == BoundsSeg {
+			m.Seg = asm.SegFS // single-stack ablation under seg
+			m.Use32 = true
+		}
+		return m
+	}
+	if c.conf.Bounds == BoundsSeg {
+		m.Seg = asm.SegFS
+		m.Use32 = true
+	}
+	m.Disp = int32(disp)
+	return m
+}
+
+// move is one element of a parallel register move.
+type move struct {
+	src asm.Reg
+	dst regalloc.Loc
+}
+
+// parallelMove performs moves whose sources are registers, respecting
+// conflicts (a destination register that is still a pending source is
+// deferred; cycles break through ScratchA).
+func (c *ctx) parallelMove(moves []move) {
+	pending := append([]move{}, moves...)
+	for len(pending) > 0 {
+		progress := false
+		for i, m := range pending {
+			if m.dst.Kind == regalloc.LocReg && m.dst.Reg == m.src {
+				pending = append(pending[:i], pending[i+1:]...)
+				progress = true
+				break
+			}
+			// Is dst a source of another pending move?
+			blocked := false
+			if m.dst.Kind == regalloc.LocReg {
+				for j, o := range pending {
+					if j != i && o.src == m.dst.Reg {
+						blocked = true
+						break
+					}
+				}
+			}
+			if blocked {
+				continue
+			}
+			c.storeLoc(m.dst, m.src)
+			pending = append(pending[:i], pending[i+1:]...)
+			progress = true
+			break
+		}
+		if !progress {
+			// Cycle: rotate through ScratchA.
+			m := pending[0]
+			c.emit(asm.Inst{Op: asm.OpMovRR, Dst: regalloc.ScratchA, Src: m.src})
+			pending[0].src = regalloc.ScratchA
+		}
+	}
+}
+
+// storeLoc writes a register's value into a location.
+func (c *ctx) storeLoc(loc regalloc.Loc, src asm.Reg) {
+	switch loc.Kind {
+	case regalloc.LocReg:
+		if loc.Reg != src {
+			c.emit(asm.Inst{Op: asm.OpMovRR, Dst: loc.Reg, Src: src})
+		}
+	case regalloc.LocFReg:
+		c.emit(asm.Inst{Op: asm.OpMovQIF, FDst: loc.FReg, Src: src})
+	case regalloc.LocSlot:
+		m := c.spillOperand(loc)
+		c.emit(asm.Inst{Op: asm.OpStore, M: m, Src: src})
+	}
+}
+
+// spillOperand builds the memory operand of a spill slot.
+func (c *ctx) spillOperand(loc regalloc.Loc) asm.Mem {
+	var disp int64
+	if loc.Private {
+		disp = int64(c.privSpillOff + loc.Slot*8)
+	} else {
+		disp = int64(c.pubSpillOff + loc.Slot*8)
+	}
+	return c.stackOperand(disp, 8, loc.Private)
+}
+
+// epilogue emits the frame teardown and the configured return sequence.
+func (c *ctx) epilogue() {
+	if c.frameSize > 0 {
+		c.emit(asm.Inst{Op: asm.OpAddRI, Dst: asm.RSP, Imm: int64(c.frameSize)})
+	}
+	for i := len(c.ra.UsedCalleeSaved) - 1; i >= 0; i-- {
+		c.emit(asm.Inst{Op: asm.OpPop, Dst: c.ra.UsedCalleeSaved[i]})
+	}
+	if !c.conf.CFI {
+		c.emit(asm.Inst{Op: asm.OpRet})
+		return
+	}
+	// Taint-aware CFI return (§4):
+	//   pop r10
+	//   mov r11, ^(MRet|retbit)   ; bitwise-negated magic (linker-patched)
+	//   not r11
+	//   cmp [r10], r11
+	//   jne trap
+	//   add r10, 8
+	//   jmp r10
+	c.emit(asm.Inst{Op: asm.OpPop, Dst: regalloc.ScratchA})
+	c.emitRel(asm.Inst{Op: asm.OpMovRI, Dst: regalloc.ScratchB, Imm: int64(c.fc.RetBit)},
+		RelRetMagicNot, "", 0)
+	c.emit(asm.Inst{Op: asm.OpNot, Dst: regalloc.ScratchB})
+	c.emit(asm.Inst{Op: asm.OpCmpMR, M: asm.Mem{Base: regalloc.ScratchA, Index: asm.NoReg, Size: 8},
+		Src: regalloc.ScratchB})
+	c.emitRel(asm.Inst{Op: asm.OpJcc, Cond: asm.CondNE}, RelTrap, "", 0)
+	c.emit(asm.Inst{Op: asm.OpAddRI, Dst: regalloc.ScratchA, Imm: 8})
+	c.emit(asm.Inst{Op: asm.OpJmpR, Src: regalloc.ScratchA})
+}

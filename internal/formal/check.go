@@ -1,0 +1,123 @@
+package formal
+
+import "fmt"
+
+// Check implements the type system of Fig. 10: it computes register taints
+// by forward dataflow from each function's entry Gamma and validates every
+// node's rule. On success it returns the per-node taint environments
+// (Γ before each node).
+func (p *Program) Check() ([][]Gamma, error) {
+	gammas := make([][]Gamma, len(p.Funcs))
+	for fi := range p.Funcs {
+		g, err := p.checkFunc(fi)
+		if err != nil {
+			return nil, err
+		}
+		gammas[fi] = g
+	}
+	return gammas, nil
+}
+
+func (p *Program) checkFunc(fi int) ([]Gamma, error) {
+	f := &p.Funcs[fi]
+	n := len(f.Nodes)
+	if n == 0 {
+		return nil, fmt.Errorf("f%d: empty function", fi)
+	}
+	in := make([]Gamma, n)
+	seen := make([]bool, n)
+	in[0] = f.Entry
+	seen[0] = true
+	work := []int{0}
+
+	succAndOut := func(pc int, g Gamma) (succs []int, out Gamma, err error) {
+		out = g
+		switch cmd := f.Nodes[pc].Cmd.(type) {
+		case Ldr:
+			// Fig. 10 ldr rule: the runtime assert establishes the
+			// region, and the destination adopts the region's level.
+			// Accesses to the *low* region additionally need low
+			// addresses: a high-dependent index into public memory
+			// makes two low-equivalent runs read different public
+			// cells, which is itself a flow.
+			if cmd.Rgn == L && cmd.Addr.level(g) == H {
+				return nil, out, fmt.Errorf("f%d/pc%d: H-dependent address into L region", fi, pc)
+			}
+			out[cmd.Dst] = cmd.Rgn
+			succs = []int{pc + 1}
+		case Str:
+			// Fig. 10 str rule: Γ(src) ⊑ region level, and low-region
+			// stores need low addresses (same argument as Ldr).
+			if !g[cmd.Src].Flows(cmd.Rgn) {
+				return nil, out, fmt.Errorf("f%d/pc%d: H register r%d stored to L region",
+					fi, pc, cmd.Src)
+			}
+			if cmd.Rgn == L && cmd.Addr.level(g) == H {
+				return nil, out, fmt.Errorf("f%d/pc%d: H-dependent address into L region", fi, pc)
+			}
+			succs = []int{pc + 1}
+		case Goto:
+			succs = []int{cmd.Target}
+		case If:
+			// Fig. 10 ifthenelse rule: the condition must be public.
+			if cmd.Cond.level(g) == H {
+				return nil, out, fmt.Errorf("f%d/pc%d: branch on H data", fi, pc)
+			}
+			succs = []int{cmd.T, cmd.F}
+		case CallU:
+			// Fig. 10 call rule: register taints flow into the callee's
+			// magic bits; on return, the return register adopts the
+			// callee's MRet bit, all other registers are conservatively
+			// high (caller-saved discipline).
+			if cmd.Fn < 0 || cmd.Fn >= len(p.Funcs) {
+				return nil, out, fmt.Errorf("f%d/pc%d: call to unknown f%d", fi, pc, cmd.Fn)
+			}
+			callee := &p.Funcs[cmd.Fn]
+			if !g.Flows(callee.Entry) {
+				return nil, out, fmt.Errorf("f%d/pc%d: argument taints exceed callee magic bits", fi, pc)
+			}
+			for r := range out {
+				out[r] = H
+			}
+			out[0] = callee.RetLevel
+			succs = []int{cmd.Ret}
+		case Ret:
+			// Fig. 10 ret rule: the return register's taint must flow
+			// into the function's declared MRet bit.
+			if !g[0].Flows(f.RetLevel) {
+				return nil, out, fmt.Errorf("f%d/pc%d: H return value at L return taint", fi, pc)
+			}
+		case Halt:
+		default:
+			return nil, out, fmt.Errorf("f%d/pc%d: unknown command", fi, pc)
+		}
+		for _, s := range succs {
+			if s < 0 || s >= n {
+				return nil, out, fmt.Errorf("f%d/pc%d: jump target %d out of range", fi, pc, s)
+			}
+		}
+		return succs, out, nil
+	}
+
+	for len(work) > 0 {
+		pc := work[len(work)-1]
+		work = work[:len(work)-1]
+		succs, out, err := succAndOut(pc, in[pc])
+		if err != nil {
+			return nil, err
+		}
+		for _, s := range succs {
+			joined := out
+			if seen[s] {
+				joined = in[s].Join(out)
+				if joined == in[s] {
+					continue
+				}
+			}
+			in[s] = joined
+			seen[s] = true
+			work = append(work, s)
+		}
+	}
+	return in, nil
+}

@@ -1,0 +1,306 @@
+// Package formal is an executable rendition of the paper's Appendix A:
+// an abstract assembly language (load/store/goto/conditional/call/ret/
+// assert), its operational semantics over a two-region memory with
+// separate low and high stacks, the flow-sensitive type system of Fig. 10
+// (ConfVerify's checks), and a testable statement of the termination-
+// insensitive noninterference theorem.
+//
+// The accompanying property tests (testing/quick) generate random
+// well-typed programs and check that two low-equivalent configurations
+// stay low-equivalent step by step — and that ill-typed programs are both
+// rejected by the checker and actually able to leak.
+package formal
+
+import (
+	"fmt"
+)
+
+// Level is a secrecy level.
+type Level bool
+
+const (
+	L Level = false // public
+	H Level = true  // private
+)
+
+func (l Level) String() string {
+	if l == H {
+		return "H"
+	}
+	return "L"
+}
+
+// Flows reports l ⊑ m.
+func (l Level) Flows(m Level) bool { return !bool(l) || bool(m) }
+
+// Join returns l ⊔ m.
+func (l Level) Join(m Level) Level { return l || m }
+
+// NumRegs is the machine's register count.
+const NumRegs = 8
+
+// Reg is a register id.
+type Reg int
+
+// Gamma is a register taint environment.
+type Gamma [NumRegs]Level
+
+// Flows reports pointwise g ⊑ o.
+func (g Gamma) Flows(o Gamma) bool {
+	for i := range g {
+		if !g[i].Flows(o[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Join returns the pointwise join.
+func (g Gamma) Join(o Gamma) Gamma {
+	var r Gamma
+	for i := range g {
+		r[i] = g[i].Join(o[i])
+	}
+	return r
+}
+
+// ---- Expressions ----
+
+// Expr is an arithmetic expression over registers and constants.
+type Expr interface {
+	eval(rho *[NumRegs]int64) int64
+	level(g Gamma) Level
+	String() string
+}
+
+// Const is a literal.
+type Const int64
+
+func (c Const) eval(*[NumRegs]int64) int64 { return int64(c) }
+func (c Const) level(Gamma) Level          { return L }
+func (c Const) String() string             { return fmt.Sprintf("%d", int64(c)) }
+
+// RegE reads a register.
+type RegE Reg
+
+func (r RegE) eval(rho *[NumRegs]int64) int64 { return rho[r] }
+func (r RegE) level(g Gamma) Level            { return g[r] }
+func (r RegE) String() string                 { return fmt.Sprintf("r%d", int(r)) }
+
+// BinOp kinds.
+type BinKind uint8
+
+const (
+	BAdd BinKind = iota
+	BSub
+	BMul
+	BXor
+)
+
+// Bin applies a total binary operator.
+type Bin struct {
+	K    BinKind
+	A, B Expr
+}
+
+func (b Bin) eval(rho *[NumRegs]int64) int64 {
+	x, y := b.A.eval(rho), b.B.eval(rho)
+	switch b.K {
+	case BAdd:
+		return x + y
+	case BSub:
+		return x - y
+	case BMul:
+		return x * y
+	}
+	return x ^ y
+}
+
+func (b Bin) level(g Gamma) Level { return b.A.level(g).Join(b.B.level(g)) }
+
+func (b Bin) String() string {
+	ops := [...]string{"+", "-", "*", "^"}
+	return fmt.Sprintf("(%s %s %s)", b.A, ops[b.K], b.B)
+}
+
+// ---- Commands (Table 1) ----
+
+// Cmd is one abstract instruction.
+type Cmd interface{ cmd() }
+
+// Ldr loads reg from region Rgn at address Addr. The runtime assert
+// (addr ∈ Dom(µ_rgn)) of Fig. 10's rule is built in: the semantics maps
+// the address into the region's domain, so the region discipline always
+// holds — which is exactly what ConfLLVM's range checks establish.
+type Ldr struct {
+	Dst  Reg
+	Addr Expr
+	Rgn  Level
+}
+
+// Str stores reg into region Rgn at Addr.
+type Str struct {
+	Src  Reg
+	Addr Expr
+	Rgn  Level
+}
+
+// Goto jumps to a node.
+type Goto struct{ Target int }
+
+// If branches on e: Fig. 10 requires level(e) ⊑ L.
+type If struct {
+	Cond Expr
+	T, F int
+}
+
+// CallU calls an untrusted function: arguments are the registers as-is;
+// the callee's entry taints are its magic bits. The return address goes
+// on the low stack (as in the paper's model).
+type CallU struct {
+	Fn  int // function index
+	Ret int // return node in the caller
+}
+
+// Ret returns to the address on top of the low stack.
+type Ret struct{}
+
+// Halt stops execution (models the program's final node).
+type Halt struct{}
+
+func (Ldr) cmd()   {}
+func (Str) cmd()   {}
+func (Goto) cmd()  {}
+func (If) cmd()    {}
+func (CallU) cmd() {}
+func (Ret) cmd()   {}
+func (Halt) cmd()  {}
+
+// Node is a CFG node ⟨pc, C, Γ, Γ'⟩; Γs are computed by the checker.
+type Node struct {
+	Cmd Cmd
+}
+
+// Func is an untrusted function: nodes indexed by pc, with entry taints
+// (the MCall magic bits) and a return-register taint (the MRet bit).
+type Func struct {
+	Nodes    []Node
+	Entry    Gamma // taints at entry (magic word)
+	RetLevel Level // taint of r0 at return sites
+}
+
+// Program is a CFG: function 0 is the designated entry.
+type Program struct {
+	Funcs []Func
+}
+
+// MemSize is the number of cells in each region.
+const MemSize = 16
+
+// Config is a machine configuration ⟨µ, ρ, [σH:σL], pc⟩. The trusted
+// memory ν is omitted: the model has no T calls (Assumption 1 covers
+// them).
+type Config struct {
+	MuL, MuH [MemSize]int64
+	Rho      [NumRegs]int64
+	StackL   []frame // low stack: return addresses (public)
+	Fn       int     // current function
+	PC       int
+	Halted   bool
+}
+
+type frame struct {
+	fn int
+	pc int
+}
+
+// Step executes one command. It returns an error only for genuinely stuck
+// configurations (which well-typed programs never reach).
+func (p *Program) Step(c *Config) error {
+	if c.Halted {
+		return nil
+	}
+	f := &p.Funcs[c.Fn]
+	if c.PC < 0 || c.PC >= len(f.Nodes) {
+		return fmt.Errorf("pc %d out of range", c.PC)
+	}
+	switch cmd := f.Nodes[c.PC].Cmd.(type) {
+	case Ldr:
+		addr := mask(cmd.Addr.eval(&c.Rho))
+		if cmd.Rgn == H {
+			c.Rho[cmd.Dst] = c.MuH[addr]
+		} else {
+			c.Rho[cmd.Dst] = c.MuL[addr]
+		}
+		c.PC++
+	case Str:
+		addr := mask(cmd.Addr.eval(&c.Rho))
+		if cmd.Rgn == H {
+			c.MuH[addr] = c.Rho[cmd.Src]
+		} else {
+			c.MuL[addr] = c.Rho[cmd.Src]
+		}
+		c.PC++
+	case Goto:
+		c.PC = cmd.Target
+	case If:
+		if cmd.Cond.eval(&c.Rho) != 0 {
+			c.PC = cmd.T
+		} else {
+			c.PC = cmd.F
+		}
+	case CallU:
+		c.StackL = append(c.StackL, frame{c.Fn, cmd.Ret})
+		c.Fn = cmd.Fn
+		c.PC = 0
+	case Ret:
+		if len(c.StackL) == 0 {
+			c.Halted = true
+			return nil
+		}
+		fr := c.StackL[len(c.StackL)-1]
+		c.StackL = c.StackL[:len(c.StackL)-1]
+		c.Fn, c.PC = fr.fn, fr.pc
+	case Halt:
+		c.Halted = true
+	default:
+		return fmt.Errorf("unknown command %T", cmd)
+	}
+	return nil
+}
+
+func mask(v int64) int64 {
+	v %= MemSize
+	if v < 0 {
+		v += MemSize
+	}
+	return v
+}
+
+// LowEquiv is the =L relation: same pc, same low stack, same low memory,
+// same values in registers that are low at the current node.
+func (p *Program) LowEquiv(a, b *Config, gammas [][]Gamma) bool {
+	if a.Fn != b.Fn || a.PC != b.PC || a.Halted != b.Halted {
+		return false
+	}
+	if len(a.StackL) != len(b.StackL) {
+		return false
+	}
+	for i := range a.StackL {
+		if a.StackL[i] != b.StackL[i] {
+			return false
+		}
+	}
+	if a.MuL != b.MuL {
+		return false
+	}
+	if a.PC < len(gammas[a.Fn]) {
+		g := gammas[a.Fn][a.PC]
+		for r := 0; r < NumRegs; r++ {
+			if g[r] == L && a.Rho[r] != b.Rho[r] {
+				return false
+			}
+		}
+	}
+	return true
+}

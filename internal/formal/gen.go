@@ -1,0 +1,149 @@
+package formal
+
+import "math/rand"
+
+// GenProgram builds a random *well-typed-by-construction* program: every
+// command is chosen so the Fig. 10 rules hold under the taints computed so
+// far. The checker still validates the result (a mismatch is a test bug).
+func GenProgram(rng *rand.Rand) *Program {
+	nFuncs := 1 + rng.Intn(2)
+	p := &Program{}
+	for fi := 0; fi < nFuncs; fi++ {
+		var entry Gamma
+		for r := range entry {
+			entry[r] = Level(rng.Intn(2) == 1)
+		}
+		p.Funcs = append(p.Funcs, Func{Entry: entry, RetLevel: Level(rng.Intn(2) == 1)})
+	}
+	for fi := range p.Funcs {
+		genFunc(p, fi, rng)
+	}
+	return p
+}
+
+// genExpr builds an expression at most the given level (only registers
+// whose taint flows into lvl).
+func genExpr(g Gamma, lvl Level, rng *rand.Rand, depth int) Expr {
+	if depth <= 0 || rng.Intn(3) == 0 {
+		if rng.Intn(2) == 0 {
+			return Const(rng.Int63n(64))
+		}
+		// Pick a register with taint ⊑ lvl; fall back to a constant.
+		for tries := 0; tries < 8; tries++ {
+			r := Reg(rng.Intn(NumRegs))
+			if g[r].Flows(lvl) {
+				return RegE(r)
+			}
+		}
+		return Const(rng.Int63n(64))
+	}
+	return Bin{
+		K: BinKind(rng.Intn(4)),
+		A: genExpr(g, lvl, rng, depth-1),
+		B: genExpr(g, lvl, rng, depth-1),
+	}
+}
+
+func genFunc(p *Program, fi int, rng *rand.Rand) {
+	f := &p.Funcs[fi]
+	nBlocks := 2 + rng.Intn(3)
+	blockLen := 3 + rng.Intn(3)
+	// Pre-plan node layout: blocks of straight-line code, each ending in
+	// a terminator whose targets are block starts (forward or backward,
+	// bounded at runtime by the step budget).
+	starts := make([]int, nBlocks)
+	total := 0
+	for b := range starts {
+		starts[b] = total
+		total += blockLen + 1
+	}
+	f.Nodes = make([]Node, total)
+
+	g := f.Entry
+	for b := 0; b < nBlocks; b++ {
+		pc := starts[b]
+		for i := 0; i < blockLen; i++ {
+			switch rng.Intn(4) {
+			case 0: // load from a random region (L-region loads need L addresses)
+				rgn := Level(rng.Intn(2) == 1)
+				dst := Reg(rng.Intn(NumRegs))
+				f.Nodes[pc].Cmd = Ldr{Dst: dst, Addr: genExpr(g, Level(rgn), rng, 2), Rgn: rgn}
+				g[dst] = rgn
+			case 1: // store: region must dominate source taint and address
+				src := Reg(rng.Intn(NumRegs))
+				rgn := g[src] // store H to H, L to L (or raise L to H)
+				if rgn == L && rng.Intn(2) == 0 {
+					rgn = H
+				}
+				f.Nodes[pc].Cmd = Str{Src: src, Addr: genExpr(g, Level(rgn), rng, 2), Rgn: rgn}
+			case 2: // consume an arbitrary expression with a high store
+				src := Reg(rng.Intn(NumRegs))
+				f.Nodes[pc].Cmd = Str{Src: src, Addr: genExpr(g, H, rng, 2), Rgn: H}
+			case 3: // call another function if argument taints allow
+				tgt := rng.Intn(len(p.Funcs))
+				callee := &p.Funcs[tgt]
+				if tgt != fi && g.Flows(callee.Entry) {
+					f.Nodes[pc].Cmd = CallU{Fn: tgt, Ret: pc + 1}
+					for r := range g {
+						g[r] = H
+					}
+					g[0] = callee.RetLevel
+				} else {
+					f.Nodes[pc].Cmd = Goto{Target: pc + 1}
+				}
+			}
+			pc++
+		}
+		// Terminator.
+		last := b == nBlocks-1
+		switch {
+		case last && fi == 0:
+			f.Nodes[pc].Cmd = Halt{}
+		case last:
+			// Return: r0's taint must flow into RetLevel. If it does
+			// not, replace the preceding command with a public load of
+			// r0 (a legitimate way to publish a public value).
+			if !g[0].Flows(f.RetLevel) {
+				f.Nodes[pc-1].Cmd = Ldr{Dst: 0, Addr: Const(0), Rgn: L}
+				g[0] = L
+			}
+			f.Nodes[pc].Cmd = Ret{}
+		default:
+			// Branch or fall through to a later block (forward edges
+			// keep the generated programs terminating).
+			next := starts[b+1]
+			if rng.Intn(2) == 0 {
+				t := starts[b+1+rng.Intn(nBlocks-b-1)]
+				f.Nodes[pc].Cmd = If{Cond: genExpr(g, L, rng, 2), T: t, F: next}
+			} else {
+				f.Nodes[pc].Cmd = Goto{Target: next}
+			}
+		}
+	}
+}
+
+// InjectLeak mutates a well-typed program to leak: it rewrites one store
+// to copy a high register into the low region. Returns the mutated node's
+// location, or false if no high register is in scope anywhere.
+func InjectLeak(p *Program, rng *rand.Rand) bool {
+	gammas, err := p.Check()
+	if err != nil {
+		return false
+	}
+	for fi := range p.Funcs {
+		f := &p.Funcs[fi]
+		for pc := range f.Nodes {
+			g := gammas[fi][pc]
+			if _, ok := f.Nodes[pc].Cmd.(Str); !ok {
+				continue
+			}
+			for r := 0; r < NumRegs; r++ {
+				if g[r] == H {
+					f.Nodes[pc].Cmd = Str{Src: Reg(r), Addr: Const(int64(rng.Intn(MemSize))), Rgn: L}
+					return true
+				}
+			}
+		}
+	}
+	return false
+}

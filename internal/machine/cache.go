@@ -1,0 +1,71 @@
+package machine
+
+// cache models a set-associative L1 data cache with LRU replacement. Each
+// hardware thread (core) has its own instance. The model only affects the
+// cycle count, never the architectural state — it exists so that effects
+// like the extra cache pressure of split public/private stacks (paper
+// Fig. 6, OurMPX vs OurMPX-Sep) are observable.
+type cache struct {
+	sets     [][]cacheLine
+	setMask  uint64
+	lineBits uint
+	hits     uint64
+	misses   uint64
+}
+
+type cacheLine struct {
+	tag   uint64
+	valid bool
+	lru   uint64
+}
+
+// cache geometry: 32 KB, 64-byte lines, 8-way (Skylake-like L1D).
+const (
+	cacheLineBits = 6
+	cacheWays     = 8
+	cacheSets     = 32 * 1024 / (1 << cacheLineBits) / cacheWays
+)
+
+func newCache() *cache {
+	c := &cache{
+		sets:     make([][]cacheLine, cacheSets),
+		setMask:  cacheSets - 1,
+		lineBits: cacheLineBits,
+	}
+	lines := make([]cacheLine, cacheSets*cacheWays)
+	for i := range c.sets {
+		c.sets[i] = lines[i*cacheWays : (i+1)*cacheWays]
+	}
+	return c
+}
+
+var lruClock uint64
+
+// access touches addr and reports whether it hit.
+func (c *cache) access(addr uint64) bool {
+	lruClock++
+	line := addr >> c.lineBits
+	set := c.sets[line&c.setMask]
+	tag := line >> 5 // bits above the set index
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			set[i].lru = lruClock
+			c.hits++
+			return true
+		}
+	}
+	c.misses++
+	// Evict LRU.
+	victim := 0
+	for i := 1; i < len(set); i++ {
+		if !set[i].valid {
+			victim = i
+			break
+		}
+		if set[i].lru < set[victim].lru {
+			victim = i
+		}
+	}
+	set[victim] = cacheLine{tag: tag, valid: true, lru: lruClock}
+	return false
+}

@@ -1,0 +1,689 @@
+package machine
+
+import (
+	"fmt"
+	"math"
+
+	"confllvm/internal/asm"
+)
+
+// BndRange is an MPX bound register: a [Lo, Hi] closed interval.
+type BndRange struct {
+	Lo uint64
+	Hi uint64
+}
+
+// Stats counts architectural and micro-architectural events per thread.
+type Stats struct {
+	Instrs      uint64
+	Cycles      uint64
+	Loads       uint64
+	Stores      uint64
+	BndChecks   uint64
+	BndMasked   uint64 // bound checks hidden behind FP work
+	CacheMisses uint64
+	TrustedCall uint64 // transitions into T handlers
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.Instrs += other.Instrs
+	s.Cycles += other.Cycles
+	s.Loads += other.Loads
+	s.Stores += other.Stores
+	s.BndChecks += other.BndChecks
+	s.BndMasked += other.BndMasked
+	s.CacheMisses += other.CacheMisses
+	s.TrustedCall += other.TrustedCall
+}
+
+// Thread is a hardware execution context (one per simulated core thread).
+type Thread struct {
+	ID    int
+	Regs  [asm.NumRegs]uint64
+	FRegs [asm.NumFRegs]float64
+	PC    uint64
+
+	// Flags.
+	ZF, SF, CF, OF bool
+
+	// Segment bases (4 GB-aligned in the segmentation scheme).
+	FS, GS uint64
+
+	// MPX bound registers.
+	Bnd [2]BndRange
+
+	// Thread stack bounds enforced by chksp ([_chkstk] analogue).
+	StackLo, StackHi uint64
+
+	Halted   bool
+	ExitCode uint64
+	Fault    *Fault
+
+	Stats    Stats
+	fpCredit int
+	l1       *cache
+
+	m *Machine
+}
+
+// Handler is a trusted-runtime entry point implemented on the host. When a
+// thread's pc reaches the handler's address, the machine invokes it instead
+// of fetching. Handlers model T code compiled by a vanilla compiler: they
+// may access all memory and must set the thread's pc before returning (by
+// performing the return sequence of the active configuration).
+type Handler func(m *Machine, t *Thread) *Fault
+
+// Config tunes the cost model.
+type Config struct {
+	Cores        int    // hardware cores for wall-clock estimation
+	CacheModel   bool   // model L1D hit/miss
+	MissPenalty  uint64 // cycles per L1D miss
+	FPMaskDepth  int    // bound checks maskable behind each FP op window
+	DefaultFuel  uint64 // instruction budget per Run call (0 = no limit)
+	TrustedCost  uint64 // cycles charged for a U->T->U transition (wrapper)
+	TrustedCost1 uint64 // same, when U and T share memory (Our1Mem)
+}
+
+// DefaultConfig returns the calibrated default cost model.
+func DefaultConfig() Config {
+	return Config{
+		Cores:        4,
+		CacheModel:   true,
+		MissPenalty:  14,
+		FPMaskDepth:  2,
+		DefaultFuel:  2_000_000_000,
+		TrustedCost:  40,
+		TrustedCost1: 8,
+	}
+}
+
+// Machine is the whole simulated machine: memory, threads, trusted-runtime
+// handlers and the cost model.
+type Machine struct {
+	Mem      *Memory
+	Threads  []*Thread
+	Handlers map[uint64]Handler
+	Conf     Config
+
+	fuel uint64
+
+	// icache memoizes decoded instructions by pc. Code regions are
+	// immutable after loading (no W permission), so entries never go
+	// stale; Memory.WriteBytesUnchecked flushes it anyway for tests that
+	// patch code.
+	icache map[uint64]cachedInst
+}
+
+type cachedInst struct {
+	inst asm.Inst
+	size int
+}
+
+// New creates a machine with the given configuration.
+func New(conf Config) *Machine {
+	if conf.Cores <= 0 {
+		conf.Cores = 1
+	}
+	m := &Machine{
+		Mem:      NewMemory(),
+		Handlers: make(map[uint64]Handler),
+		Conf:     conf,
+		icache:   make(map[uint64]cachedInst),
+	}
+	m.Mem.onUncheckedWrite = func() {
+		m.icache = make(map[uint64]cachedInst)
+	}
+	return m
+}
+
+// NewThread creates a thread starting at pc with the given stack pointer
+// and stack bounds.
+func (m *Machine) NewThread(pc, rsp, stackLo, stackHi uint64) *Thread {
+	t := &Thread{ID: len(m.Threads), PC: pc, StackLo: stackLo, StackHi: stackHi, m: m}
+	t.Regs[asm.RSP] = rsp
+	if m.Conf.CacheModel {
+		t.l1 = newCache()
+	}
+	m.Threads = append(m.Threads, t)
+	return t
+}
+
+// fault halts the thread with a fault at the current pc.
+func (t *Thread) fault(f *Fault) *Fault {
+	f.PC = t.PC
+	t.Fault = f
+	t.Halted = true
+	return f
+}
+
+// AddCycles charges the thread extra cycles (used by trusted handlers).
+func (t *Thread) AddCycles(n uint64) { t.Stats.Cycles += n }
+
+// Push pushes an 8-byte value onto the thread's stack.
+func (t *Thread) Push(val uint64) *Fault {
+	t.Regs[asm.RSP] -= 8
+	return t.m.Mem.Write(t.Regs[asm.RSP], 8, val)
+}
+
+// Pop pops an 8-byte value from the thread's stack.
+func (t *Thread) Pop() (uint64, *Fault) {
+	v, f := t.m.Mem.Read(t.Regs[asm.RSP], 8)
+	if f != nil {
+		return 0, f
+	}
+	t.Regs[asm.RSP] += 8
+	return v, nil
+}
+
+// EA computes the effective address of a memory operand for this thread,
+// applying segment bases and the 32-bit operand constraint of the
+// segmentation scheme.
+func (t *Thread) EA(m asm.Mem) uint64 {
+	var base, index uint64
+	if m.Base != asm.NoReg {
+		base = t.Regs[m.Base]
+	}
+	if m.Index != asm.NoReg {
+		index = t.Regs[m.Index]
+	}
+	if m.Use32 {
+		base = uint64(uint32(base))
+		index = uint64(uint32(index))
+	}
+	scale := uint64(m.Scale)
+	if scale == 0 {
+		scale = 1
+	}
+	ea := base + index*scale + uint64(int64(m.Disp))
+	switch m.Seg {
+	case asm.SegFS:
+		ea += t.FS
+	case asm.SegGS:
+		ea += t.GS
+	}
+	return ea
+}
+
+func (t *Thread) memCost(addr uint64) uint64 {
+	if t.l1 == nil {
+		return 0
+	}
+	if t.l1.access(addr) {
+		return 0
+	}
+	t.Stats.CacheMisses++
+	return t.m.Conf.MissPenalty
+}
+
+func (t *Thread) setCmpFlags(a, b uint64) {
+	d := a - b
+	t.ZF = d == 0
+	t.SF = int64(d) < 0
+	t.CF = a < b
+	// Signed overflow of a - b.
+	t.OF = (int64(a) < 0) != (int64(b) < 0) && (int64(d) < 0) != (int64(a) < 0)
+}
+
+func (t *Thread) setTestFlags(v uint64) {
+	t.ZF = v == 0
+	t.SF = int64(v) < 0
+	t.CF = false
+	t.OF = false
+}
+
+func (t *Thread) condTrue(c asm.Cond) bool {
+	switch c {
+	case asm.CondE:
+		return t.ZF
+	case asm.CondNE:
+		return !t.ZF
+	case asm.CondL:
+		return t.SF != t.OF
+	case asm.CondLE:
+		return t.ZF || t.SF != t.OF
+	case asm.CondG:
+		return !t.ZF && t.SF == t.OF
+	case asm.CondGE:
+		return t.SF == t.OF
+	case asm.CondB:
+		return t.CF
+	case asm.CondBE:
+		return t.CF || t.ZF
+	case asm.CondA:
+		return !t.CF && !t.ZF
+	case asm.CondAE:
+		return !t.CF
+	case asm.CondS:
+		return t.SF
+	case asm.CondNS:
+		return !t.SF
+	}
+	return false
+}
+
+// extend narrows v to size bytes and zero- or sign-extends back to 64 bits.
+func extend(v uint64, size uint8, signed bool) uint64 {
+	switch size {
+	case 1:
+		if signed {
+			return uint64(int64(int8(v)))
+		}
+		return uint64(uint8(v))
+	case 2:
+		if signed {
+			return uint64(int64(int16(v)))
+		}
+		return uint64(uint16(v))
+	case 4:
+		if signed {
+			return uint64(int64(int32(v)))
+		}
+		return uint64(uint32(v))
+	}
+	return v
+}
+
+// maxInstLen is an upper bound on any encoded instruction length.
+const maxInstLen = 16
+
+// Step executes one instruction (or one trusted handler) on thread t.
+// It returns a fault if the thread faulted.
+func (t *Thread) Step() *Fault {
+	m := t.m
+	if t.Halted {
+		return t.Fault
+	}
+	if h, ok := m.Handlers[t.PC]; ok {
+		t.Stats.TrustedCall++
+		if f := h(m, t); f != nil {
+			return t.fault(f)
+		}
+		return nil
+	}
+
+	// Fetch (with decode cache: code regions are immutable once loaded).
+	var inst asm.Inst
+	var ilen int
+	if d, ok := m.icache[t.PC]; ok {
+		inst, ilen = d.inst, d.size
+	} else {
+		r := m.Mem.Find(t.PC)
+		if r == nil {
+			return t.fault(&Fault{Kind: FaultUnmapped, Addr: t.PC, Msg: "fetch from guard space"})
+		}
+		if r.Perm&PermX == 0 {
+			return t.fault(&Fault{Kind: FaultNX, Addr: t.PC, Msg: "fetch from " + r.Name})
+		}
+		var buf [maxInstLen]byte
+		n := maxInstLen
+		if rem := r.End() - t.PC; rem < maxInstLen {
+			n = int(rem)
+		}
+		m.Mem.copyOut(t.PC, buf[:n])
+		var err error
+		inst, ilen, err = asm.Decode(buf[:n], 0)
+		if err != nil {
+			return t.fault(&Fault{Kind: FaultDecode, Addr: t.PC, Msg: err.Error()})
+		}
+		m.icache[t.PC] = cachedInst{inst, ilen}
+	}
+
+	t.Stats.Instrs++
+	nextPC := t.PC + uint64(ilen)
+	cost := uint64(1)
+
+	switch inst.Op {
+	case asm.OpNop:
+	case asm.OpMovRR:
+		t.Regs[inst.Dst] = t.Regs[inst.Src]
+	case asm.OpMovRI:
+		t.Regs[inst.Dst] = uint64(inst.Imm)
+	case asm.OpLea:
+		// lea computes the raw address without the segment base (as x64).
+		seg := inst.M.Seg
+		inst.M.Seg = asm.SegNone
+		t.Regs[inst.Dst] = t.EA(inst.M)
+		inst.M.Seg = seg
+	case asm.OpLoad:
+		addr := t.EA(inst.M)
+		v, f := m.Mem.Read(addr, inst.M.Size)
+		if f != nil {
+			return t.fault(f)
+		}
+		t.Regs[inst.Dst] = extend(v, inst.M.Size, inst.M.Signed)
+		t.Stats.Loads++
+		cost += t.memCost(addr)
+	case asm.OpStore:
+		addr := t.EA(inst.M)
+		if f := m.Mem.Write(addr, inst.M.Size, t.Regs[inst.Src]); f != nil {
+			return t.fault(f)
+		}
+		t.Stats.Stores++
+		cost += t.memCost(addr)
+	case asm.OpPush:
+		if f := t.Push(t.Regs[inst.Src]); f != nil {
+			return t.fault(f)
+		}
+		t.Stats.Stores++
+		cost += t.memCost(t.Regs[asm.RSP])
+	case asm.OpPop:
+		v, f := t.Pop()
+		if f != nil {
+			return t.fault(f)
+		}
+		t.Regs[inst.Dst] = v
+		t.Stats.Loads++
+		cost += t.memCost(t.Regs[asm.RSP] - 8)
+
+	case asm.OpAddRR:
+		t.Regs[inst.Dst] += t.Regs[inst.Src]
+	case asm.OpAddRI:
+		t.Regs[inst.Dst] += uint64(inst.Imm)
+	case asm.OpSubRR:
+		t.Regs[inst.Dst] -= t.Regs[inst.Src]
+	case asm.OpSubRI:
+		t.Regs[inst.Dst] -= uint64(inst.Imm)
+	case asm.OpMulRR:
+		t.Regs[inst.Dst] = uint64(int64(t.Regs[inst.Dst]) * int64(t.Regs[inst.Src]))
+		cost = 3
+	case asm.OpMulRI:
+		t.Regs[inst.Dst] = uint64(int64(t.Regs[inst.Dst]) * inst.Imm)
+		cost = 3
+	case asm.OpDivRR:
+		d := int64(t.Regs[inst.Src])
+		if d == 0 {
+			return t.fault(&Fault{Kind: FaultDivide})
+		}
+		t.Regs[inst.Dst] = uint64(int64(t.Regs[inst.Dst]) / d)
+		cost = 20
+	case asm.OpModRR:
+		d := int64(t.Regs[inst.Src])
+		if d == 0 {
+			return t.fault(&Fault{Kind: FaultDivide})
+		}
+		t.Regs[inst.Dst] = uint64(int64(t.Regs[inst.Dst]) % d)
+		cost = 20
+	case asm.OpAndRR:
+		t.Regs[inst.Dst] &= t.Regs[inst.Src]
+	case asm.OpAndRI:
+		t.Regs[inst.Dst] &= uint64(inst.Imm)
+	case asm.OpOrRR:
+		t.Regs[inst.Dst] |= t.Regs[inst.Src]
+	case asm.OpOrRI:
+		t.Regs[inst.Dst] |= uint64(inst.Imm)
+	case asm.OpXorRR:
+		t.Regs[inst.Dst] ^= t.Regs[inst.Src]
+	case asm.OpXorRI:
+		t.Regs[inst.Dst] ^= uint64(inst.Imm)
+	case asm.OpShlRR:
+		t.Regs[inst.Dst] <<= t.Regs[inst.Src] & 63
+	case asm.OpShlRI:
+		t.Regs[inst.Dst] <<= uint64(inst.Imm) & 63
+	case asm.OpShrRR:
+		t.Regs[inst.Dst] >>= t.Regs[inst.Src] & 63
+	case asm.OpShrRI:
+		t.Regs[inst.Dst] >>= uint64(inst.Imm) & 63
+	case asm.OpSarRR:
+		t.Regs[inst.Dst] = uint64(int64(t.Regs[inst.Dst]) >> (t.Regs[inst.Src] & 63))
+	case asm.OpSarRI:
+		t.Regs[inst.Dst] = uint64(int64(t.Regs[inst.Dst]) >> (uint64(inst.Imm) & 63))
+	case asm.OpNeg:
+		t.Regs[inst.Dst] = -t.Regs[inst.Dst]
+	case asm.OpNot:
+		t.Regs[inst.Dst] = ^t.Regs[inst.Dst]
+
+	case asm.OpCmpRR:
+		t.setCmpFlags(t.Regs[inst.Dst], t.Regs[inst.Src])
+	case asm.OpCmpRI:
+		t.setCmpFlags(t.Regs[inst.Dst], uint64(inst.Imm))
+	case asm.OpCmpMR:
+		addr := t.EA(inst.M)
+		v, f := m.Mem.Read(addr, 8)
+		if f != nil {
+			return t.fault(f)
+		}
+		t.setCmpFlags(v, t.Regs[inst.Src])
+		t.Stats.Loads++
+		cost += t.memCost(addr)
+	case asm.OpTestRR:
+		t.setTestFlags(t.Regs[inst.Dst] & t.Regs[inst.Src])
+	case asm.OpTestRI:
+		t.setTestFlags(t.Regs[inst.Dst] & uint64(inst.Imm))
+	case asm.OpSetCC:
+		if t.condTrue(inst.Cond) {
+			t.Regs[inst.Dst] = 1
+		} else {
+			t.Regs[inst.Dst] = 0
+		}
+
+	case asm.OpJmp:
+		nextPC = uint64(inst.Imm)
+	case asm.OpJcc:
+		if t.condTrue(inst.Cond) {
+			nextPC = uint64(inst.Imm)
+		}
+	case asm.OpJmpR:
+		nextPC = t.Regs[inst.Src]
+	case asm.OpCall:
+		if f := t.Push(nextPC); f != nil {
+			return t.fault(f)
+		}
+		cost = 2 + t.memCost(t.Regs[asm.RSP])
+		nextPC = uint64(inst.Imm)
+	case asm.OpICall:
+		if f := t.Push(nextPC); f != nil {
+			return t.fault(f)
+		}
+		cost = 2 + t.memCost(t.Regs[asm.RSP])
+		nextPC = t.Regs[inst.Src]
+	case asm.OpRet:
+		v, f := t.Pop()
+		if f != nil {
+			return t.fault(f)
+		}
+		cost = 2 + t.memCost(t.Regs[asm.RSP]-8)
+		nextPC = v
+	case asm.OpTrap:
+		return t.fault(&Fault{Kind: FaultCFI, Msg: "trap"})
+	case asm.OpExit:
+		t.Halted = true
+		t.ExitCode = t.Regs[asm.RetReg]
+		t.Stats.Cycles += cost
+		return nil
+
+	case asm.OpBndCLMem, asm.OpBndCUMem, asm.OpBndCLReg, asm.OpBndCUReg:
+		t.Stats.BndChecks++
+		if t.fpCredit > 0 {
+			t.fpCredit--
+			t.Stats.BndMasked++
+			cost = 0
+		}
+		var addr uint64
+		switch inst.Op {
+		case asm.OpBndCLMem, asm.OpBndCUMem:
+			seg := inst.M.Seg
+			inst.M.Seg = asm.SegNone
+			addr = t.EA(inst.M)
+			inst.M.Seg = seg
+		default:
+			addr = t.Regs[inst.Src]
+		}
+		b := t.Bnd[inst.Bnd]
+		switch inst.Op {
+		case asm.OpBndCLMem, asm.OpBndCLReg:
+			if addr < b.Lo {
+				return t.fault(&Fault{Kind: FaultBounds, Addr: addr,
+					Msg: fmt.Sprintf("below %s.lower=%#x", inst.Bnd, b.Lo)})
+			}
+		default:
+			if addr > b.Hi {
+				return t.fault(&Fault{Kind: FaultBounds, Addr: addr,
+					Msg: fmt.Sprintf("above %s.upper=%#x", inst.Bnd, b.Hi)})
+			}
+		}
+
+	case asm.OpChkSP:
+		sp := t.Regs[asm.RSP]
+		if sp < t.StackLo || sp > t.StackHi {
+			return t.fault(&Fault{Kind: FaultStack, Addr: sp,
+				Msg: fmt.Sprintf("rsp outside [%#x,%#x]", t.StackLo, t.StackHi)})
+		}
+
+	case asm.OpFLoad:
+		addr := t.EA(inst.M)
+		v, f := m.Mem.Read(addr, 8)
+		if f != nil {
+			return t.fault(f)
+		}
+		t.FRegs[inst.FDst] = math.Float64frombits(v)
+		t.Stats.Loads++
+		cost += t.memCost(addr)
+		t.grantFPCredit()
+	case asm.OpFStore:
+		addr := t.EA(inst.M)
+		if f := m.Mem.Write(addr, 8, math.Float64bits(t.FRegs[inst.FSrc])); f != nil {
+			return t.fault(f)
+		}
+		t.Stats.Stores++
+		cost += t.memCost(addr)
+		t.grantFPCredit()
+	case asm.OpFMovRR:
+		t.FRegs[inst.FDst] = t.FRegs[inst.FSrc]
+	case asm.OpFMovI:
+		t.FRegs[inst.FDst] = math.Float64frombits(uint64(inst.Imm))
+	case asm.OpFAdd:
+		t.FRegs[inst.FDst] += t.FRegs[inst.FSrc]
+		t.grantFPCredit()
+	case asm.OpFSub:
+		t.FRegs[inst.FDst] -= t.FRegs[inst.FSrc]
+		t.grantFPCredit()
+	case asm.OpFMul:
+		t.FRegs[inst.FDst] *= t.FRegs[inst.FSrc]
+		t.grantFPCredit()
+	case asm.OpFDiv:
+		t.FRegs[inst.FDst] /= t.FRegs[inst.FSrc]
+		cost = 12
+		t.grantFPCredit()
+	case asm.OpFMax:
+		if t.FRegs[inst.FSrc] > t.FRegs[inst.FDst] {
+			t.FRegs[inst.FDst] = t.FRegs[inst.FSrc]
+		}
+		t.grantFPCredit()
+	case asm.OpFCmp:
+		a, b := t.FRegs[inst.FDst], t.FRegs[inst.FSrc]
+		if math.IsNaN(a) || math.IsNaN(b) {
+			t.ZF, t.CF = true, true // x64 unordered result
+		} else {
+			t.ZF = a == b
+			t.CF = a < b
+		}
+		t.SF, t.OF = false, false
+		t.grantFPCredit()
+	case asm.OpCvtIF:
+		t.FRegs[inst.FDst] = float64(int64(t.Regs[inst.Src]))
+		cost = 2
+	case asm.OpCvtFI:
+		t.Regs[inst.Dst] = uint64(int64(t.FRegs[inst.FSrc]))
+		cost = 2
+	case asm.OpMovQIF:
+		t.FRegs[inst.FDst] = math.Float64frombits(t.Regs[inst.Src])
+	case asm.OpMovQFI:
+		t.Regs[inst.Dst] = math.Float64bits(t.FRegs[inst.FSrc])
+
+	case asm.OpWrFS:
+		t.FS = t.Regs[inst.Src]
+	case asm.OpWrGS:
+		t.GS = t.Regs[inst.Src]
+	case asm.OpSyscall:
+		return t.fault(&Fault{Kind: FaultPerm, Msg: "syscall from untrusted code"})
+
+	default:
+		return t.fault(&Fault{Kind: FaultDecode, Msg: "unimplemented opcode " + inst.Op.String()})
+	}
+
+	t.Stats.Cycles += cost
+	t.PC = nextPC
+	return nil
+}
+
+func (t *Thread) grantFPCredit() {
+	if t.fpCredit < t.m.Conf.FPMaskDepth {
+		t.fpCredit++
+	}
+}
+
+// Run executes all live threads round-robin until every thread halts (or
+// one faults). It returns the first fault encountered, if any.
+func (m *Machine) Run() *Fault {
+	m.fuel = m.Conf.DefaultFuel
+	const quantum = 1024
+	for {
+		live := false
+		for _, t := range m.Threads {
+			if t.Halted {
+				continue
+			}
+			live = true
+			for i := 0; i < quantum && !t.Halted; i++ {
+				if m.fuel > 0 {
+					m.fuel--
+					if m.fuel == 0 {
+						return t.fault(&Fault{Kind: FaultFuel})
+					}
+				}
+				if f := t.Step(); f != nil {
+					return f
+				}
+			}
+		}
+		if !live {
+			return nil
+		}
+	}
+}
+
+// TotalStats sums the stats of all threads.
+func (m *Machine) TotalStats() Stats {
+	var s Stats
+	for _, t := range m.Threads {
+		s.Add(t.Stats)
+	}
+	return s
+}
+
+// WallCycles estimates the wall-clock cycle count of the run: threads are
+// assigned to Cores cores using longest-processing-time-first scheduling
+// and the makespan is returned. With one thread this is just its cycle
+// count; with more threads than cores the load is shared.
+func (m *Machine) WallCycles() uint64 {
+	loads := make([]uint64, m.Conf.Cores)
+	// LPT: sort thread cycle counts descending, assign to least-loaded core.
+	cycles := make([]uint64, 0, len(m.Threads))
+	for _, t := range m.Threads {
+		cycles = append(cycles, t.Stats.Cycles)
+	}
+	for i := 0; i < len(cycles); i++ {
+		maxI := i
+		for j := i + 1; j < len(cycles); j++ {
+			if cycles[j] > cycles[maxI] {
+				maxI = j
+			}
+		}
+		cycles[i], cycles[maxI] = cycles[maxI], cycles[i]
+		minCore := 0
+		for c := 1; c < len(loads); c++ {
+			if loads[c] < loads[minCore] {
+				minCore = c
+			}
+		}
+		loads[minCore] += cycles[i]
+	}
+	var max uint64
+	for _, l := range loads {
+		if l > max {
+			max = l
+		}
+	}
+	return max
+}

@@ -1,0 +1,359 @@
+// Package opt implements the IR optimization pipeline. The paper compiles
+// the baseline with full -O2 and ConfLLVM with the subset of passes whose
+// metadata handling was ported (§5.1: "We disable the remaining
+// optimizations in our prototype"). Passes here are selectable so both
+// pipelines can be reproduced: the ConfLLVM pipeline drops the
+// aggressive block-local value-numbering pass.
+package opt
+
+import (
+	"confllvm/internal/ir"
+)
+
+// Passes selects which optimizations run.
+type Passes struct {
+	ConstFold   bool
+	CopyProp    bool
+	LocalCSE    bool // block-local value numbering (a "vanilla-only" pass)
+	DCE         bool
+	SimplifyCFG bool
+}
+
+// O2 is the full pipeline (vanilla LLVM baseline).
+func O2() Passes {
+	return Passes{ConstFold: true, CopyProp: true, LocalCSE: true, DCE: true, SimplifyCFG: true}
+}
+
+// ConfLLVM is the reduced pipeline: the local CSE pass mutates value
+// metadata in ways the instrumenting backend does not support, so it is
+// disabled (mirroring the paper's disabled optimizations).
+func ConfLLVM() Passes {
+	return Passes{ConstFold: true, CopyProp: true, LocalCSE: false, DCE: true, SimplifyCFG: true}
+}
+
+// None disables all optimization (-O0).
+func None() Passes { return Passes{} }
+
+// Run applies the selected passes to every function until a fixpoint
+// (bounded at 4 rounds).
+func Run(mod *ir.Module, p Passes) {
+	for _, f := range mod.Funcs {
+		if f.Blocks == nil {
+			continue
+		}
+		for round := 0; round < 4; round++ {
+			changed := false
+			if p.SimplifyCFG {
+				changed = simplifyCFG(f) || changed
+			}
+			if p.ConstFold {
+				changed = constFold(f) || changed
+			}
+			if p.CopyProp {
+				changed = copyProp(f) || changed
+			}
+			if p.LocalCSE {
+				changed = localCSE(f) || changed
+			}
+			if p.DCE {
+				changed = dce(f) || changed
+			}
+			if !changed {
+				break
+			}
+		}
+	}
+}
+
+// ---- Constant folding ----
+
+// constFold folds arithmetic over constants, block-locally. A vreg is known
+// constant within a block from the point of a Const def until reassigned.
+func constFold(f *ir.Func) bool {
+	changed := false
+	for _, blk := range f.Blocks {
+		consts := map[ir.Value]int64{}
+		for _, in := range blk.Insts {
+			if in.Op.HasResult() && in.Res != ir.NoValue {
+				delete(consts, in.Res)
+			}
+			switch in.Op {
+			case ir.OpConst:
+				consts[in.Res] = in.Imm
+				continue
+			case ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpDiv, ir.OpMod,
+				ir.OpAnd, ir.OpOr, ir.OpXor, ir.OpShl, ir.OpShr, ir.OpSar:
+				a, okA := consts[in.Args[0]]
+				b, okB := consts[in.Args[1]]
+				if !okA || !okB {
+					continue
+				}
+				v, ok := foldBin(in.Op, a, b)
+				if !ok {
+					continue
+				}
+				ty := f.ValueType(in.Res)
+				*in = ir.Inst{Op: ir.OpConst, Res: in.Res, Imm: v, Ty: ty, Pos: in.Pos}
+				consts[in.Res] = v
+				changed = true
+			case ir.OpICmp:
+				a, okA := consts[in.Args[0]]
+				b, okB := consts[in.Args[1]]
+				if !okA || !okB {
+					continue
+				}
+				v := foldICmp(in.Pred, a, b)
+				ty := f.ValueType(in.Res)
+				*in = ir.Inst{Op: ir.OpConst, Res: in.Res, Imm: v, Ty: ty, Pos: in.Pos}
+				consts[in.Res] = v
+				changed = true
+			case ir.OpCondBr:
+				if v, ok := consts[in.Args[0]]; ok {
+					target := in.Blk
+					if v == 0 {
+						target = in.Blk2
+					}
+					*in = ir.Inst{Op: ir.OpBr, Res: ir.NoValue, Blk: target, Pos: in.Pos}
+					changed = true
+				}
+			}
+		}
+	}
+	return changed
+}
+
+func foldBin(op ir.Op, a, b int64) (int64, bool) {
+	switch op {
+	case ir.OpAdd:
+		return a + b, true
+	case ir.OpSub:
+		return a - b, true
+	case ir.OpMul:
+		return a * b, true
+	case ir.OpDiv:
+		if b == 0 {
+			return 0, false
+		}
+		return a / b, true
+	case ir.OpMod:
+		if b == 0 {
+			return 0, false
+		}
+		return a % b, true
+	case ir.OpAnd:
+		return a & b, true
+	case ir.OpOr:
+		return a | b, true
+	case ir.OpXor:
+		return a ^ b, true
+	case ir.OpShl:
+		return a << uint(b&63), true
+	case ir.OpShr:
+		return int64(uint64(a) >> uint(b&63)), true
+	case ir.OpSar:
+		return a >> uint(b&63), true
+	}
+	return 0, false
+}
+
+func foldICmp(p ir.Pred, a, b int64) int64 {
+	var r bool
+	switch p {
+	case ir.PredEQ:
+		r = a == b
+	case ir.PredNE:
+		r = a != b
+	case ir.PredSLT:
+		r = a < b
+	case ir.PredSLE:
+		r = a <= b
+	case ir.PredSGT:
+		r = a > b
+	case ir.PredSGE:
+		r = a >= b
+	case ir.PredULT:
+		r = uint64(a) < uint64(b)
+	case ir.PredULE:
+		r = uint64(a) <= uint64(b)
+	case ir.PredUGT:
+		r = uint64(a) > uint64(b)
+	case ir.PredUGE:
+		r = uint64(a) >= uint64(b)
+	}
+	if r {
+		return 1
+	}
+	return 0
+}
+
+// ---- Copy propagation ----
+
+// copyProp replaces uses of a Copy destination with its source, block-
+// locally, while neither is reassigned.
+func copyProp(f *ir.Func) bool {
+	changed := false
+	for _, blk := range f.Blocks {
+		alias := map[ir.Value]ir.Value{}
+		invalidate := func(v ir.Value) {
+			delete(alias, v)
+			for k, a := range alias {
+				if a == v {
+					delete(alias, k)
+				}
+			}
+		}
+		for _, in := range blk.Insts {
+			for i, a := range in.Args {
+				if s, ok := alias[a]; ok {
+					in.Args[i] = s
+					changed = true
+				}
+			}
+			if in.Res == ir.NoValue {
+				continue
+			}
+			invalidate(in.Res)
+			if in.Op == ir.OpCopy && in.Args[0] != in.Res {
+				alias[in.Res] = in.Args[0]
+			}
+		}
+	}
+	return changed
+}
+
+// ---- Local CSE ----
+
+type cseKey struct {
+	op   ir.Op
+	a, b ir.Value
+	imm  int64
+	pred ir.Pred
+}
+
+// localCSE reuses block-local recomputations of pure expressions.
+func localCSE(f *ir.Func) bool {
+	changed := false
+	for _, blk := range f.Blocks {
+		avail := map[cseKey]ir.Value{}
+		invalidate := func(v ir.Value) {
+			for k, r := range avail {
+				if r == v || k.a == v || k.b == v {
+					delete(avail, k)
+				}
+			}
+		}
+		for _, in := range blk.Insts {
+			pure := false
+			var key cseKey
+			switch in.Op {
+			case ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpAnd, ir.OpOr, ir.OpXor,
+				ir.OpShl, ir.OpShr, ir.OpSar:
+				key = cseKey{op: in.Op, a: in.Args[0], b: in.Args[1]}
+				pure = true
+			case ir.OpICmp:
+				key = cseKey{op: in.Op, a: in.Args[0], b: in.Args[1], pred: in.Pred}
+				pure = true
+			case ir.OpConst:
+				key = cseKey{op: in.Op, imm: in.Imm}
+				pure = true
+			}
+			if pure {
+				if prev, ok := avail[key]; ok {
+					ty := f.ValueType(in.Res)
+					res := in.Res
+					*in = ir.Inst{Op: ir.OpCopy, Res: res, Args: []ir.Value{prev}, Ty: ty, Pos: in.Pos}
+					invalidate(res)
+					changed = true
+					continue
+				}
+			}
+			if in.Res != ir.NoValue {
+				invalidate(in.Res)
+				if pure {
+					avail[key] = in.Res
+				}
+			}
+		}
+	}
+	return changed
+}
+
+// ---- Dead code elimination ----
+
+func hasSideEffects(in *ir.Inst) bool {
+	switch in.Op {
+	case ir.OpStore, ir.OpCall, ir.OpICall, ir.OpRet, ir.OpBr, ir.OpCondBr:
+		return true
+	case ir.OpDiv, ir.OpMod: // may fault
+		return true
+	}
+	return false
+}
+
+// dce removes pure instructions whose results are never used anywhere and
+// Copy instructions to dead vregs.
+func dce(f *ir.Func) bool {
+	used := make([]bool, f.NumValues())
+	for _, blk := range f.Blocks {
+		for _, in := range blk.Insts {
+			for _, a := range in.Args {
+				if a != ir.NoValue {
+					used[a] = true
+				}
+			}
+		}
+	}
+	changed := false
+	for _, blk := range f.Blocks {
+		out := blk.Insts[:0]
+		for _, in := range blk.Insts {
+			if !hasSideEffects(in) && in.Res != ir.NoValue && !used[in.Res] {
+				changed = true
+				continue
+			}
+			out = append(out, in)
+		}
+		blk.Insts = out
+	}
+	return changed
+}
+
+// ---- CFG simplification ----
+
+// simplifyCFG removes blocks unreachable from the entry.
+func simplifyCFG(f *ir.Func) bool {
+	if len(f.Blocks) == 0 {
+		return false
+	}
+	byID := map[int]*ir.Block{}
+	for _, b := range f.Blocks {
+		byID[b.ID] = b
+	}
+	reach := map[int]bool{f.Blocks[0].ID: true}
+	work := []int{f.Blocks[0].ID}
+	for len(work) > 0 {
+		id := work[len(work)-1]
+		work = work[:len(work)-1]
+		b := byID[id]
+		if b == nil {
+			continue
+		}
+		for _, s := range b.Succs() {
+			if !reach[s] {
+				reach[s] = true
+				work = append(work, s)
+			}
+		}
+	}
+	if len(reach) == len(f.Blocks) {
+		return false
+	}
+	out := f.Blocks[:0]
+	for _, b := range f.Blocks {
+		if reach[b.ID] {
+			out = append(out, b)
+		}
+	}
+	f.Blocks = out
+	return true
+}

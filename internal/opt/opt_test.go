@@ -1,0 +1,143 @@
+package opt
+
+import (
+	"testing"
+
+	"confllvm/internal/ir"
+	"confllvm/internal/types"
+)
+
+var i64 = types.MakeInt(8, true, types.Public)
+
+// buildFunc makes a one-block function computing (2+3)*4 and returning it,
+// with a dead extra instruction.
+func buildFunc() *ir.Func {
+	f := &ir.Func{Name: "t", Ret: i64}
+	b := f.NewBlock()
+	v1 := f.NewValue(i64)
+	v2 := f.NewValue(i64)
+	v3 := f.NewValue(i64)
+	v4 := f.NewValue(i64)
+	v5 := f.NewValue(i64)
+	dead := f.NewValue(i64)
+	b.Insts = []*ir.Inst{
+		{Op: ir.OpConst, Res: v1, Imm: 2, Ty: i64},
+		{Op: ir.OpConst, Res: v2, Imm: 3, Ty: i64},
+		{Op: ir.OpAdd, Res: v3, Args: []ir.Value{v1, v2}},
+		{Op: ir.OpConst, Res: v4, Imm: 4, Ty: i64},
+		{Op: ir.OpMul, Res: v5, Args: []ir.Value{v3, v4}},
+		{Op: ir.OpXor, Res: dead, Args: []ir.Value{v1, v2}}, // dead
+		{Op: ir.OpRet, Res: ir.NoValue, Args: []ir.Value{v5}},
+	}
+	return f
+}
+
+func TestConstFoldAndDCE(t *testing.T) {
+	f := buildFunc()
+	mod := ir.NewModule()
+	mod.AddFunc(f)
+	Run(mod, O2())
+	// The whole computation folds to a single constant 20 + ret.
+	var retArg ir.Value = ir.NoValue
+	consts := map[ir.Value]int64{}
+	n := 0
+	for _, in := range f.Blocks[0].Insts {
+		n++
+		if in.Op == ir.OpConst {
+			consts[in.Res] = in.Imm
+		}
+		if in.Op == ir.OpRet {
+			retArg = in.Args[0]
+		}
+	}
+	if consts[retArg] != 20 {
+		t.Errorf("did not fold to 20: %v", f)
+	}
+	if n > 3 { // at most: const 20, maybe one leftover, ret
+		t.Errorf("DCE left %d instructions:\n%s", n, f)
+	}
+}
+
+func TestCondBrFolding(t *testing.T) {
+	f := &ir.Func{Name: "t", Ret: i64}
+	b0 := f.NewBlock()
+	b1 := f.NewBlock()
+	b2 := f.NewBlock()
+	c := f.NewValue(i64)
+	r := f.NewValue(i64)
+	b0.Insts = []*ir.Inst{
+		{Op: ir.OpConst, Res: c, Imm: 1, Ty: i64},
+		{Op: ir.OpCondBr, Res: ir.NoValue, Args: []ir.Value{c}, Blk: b1.ID, Blk2: b2.ID},
+	}
+	b1.Insts = []*ir.Inst{
+		{Op: ir.OpConst, Res: r, Imm: 7, Ty: i64},
+		{Op: ir.OpRet, Res: ir.NoValue, Args: []ir.Value{r}},
+	}
+	b2.Insts = []*ir.Inst{
+		{Op: ir.OpConst, Res: r, Imm: 8, Ty: i64},
+		{Op: ir.OpRet, Res: ir.NoValue, Args: []ir.Value{r}},
+	}
+	mod := ir.NewModule()
+	mod.AddFunc(f)
+	Run(mod, O2())
+	// The false branch becomes unreachable and must be removed.
+	if len(f.Blocks) != 2 {
+		t.Errorf("unreachable block not removed: %d blocks\n%s", len(f.Blocks), f)
+	}
+	if f.Blocks[0].Insts[len(f.Blocks[0].Insts)-1].Op != ir.OpBr {
+		t.Errorf("condbr on constant not folded:\n%s", f)
+	}
+}
+
+func TestCopyPropRespectsMutation(t *testing.T) {
+	// v2 = copy v1; v1 = const 9; use v2  -- must NOT propagate v1 into
+	// the use (mutable vregs).
+	f := &ir.Func{Name: "t", Ret: i64}
+	b := f.NewBlock()
+	v1 := f.NewValue(i64)
+	v2 := f.NewValue(i64)
+	b.Insts = []*ir.Inst{
+		{Op: ir.OpConst, Res: v1, Imm: 5, Ty: i64},
+		{Op: ir.OpCopy, Res: v2, Args: []ir.Value{v1}},
+		{Op: ir.OpConst, Res: v1, Imm: 9, Ty: i64},
+		{Op: ir.OpRet, Res: ir.NoValue, Args: []ir.Value{v2}},
+	}
+	mod := ir.NewModule()
+	mod.AddFunc(f)
+	Run(mod, Passes{CopyProp: true})
+	ret := f.Blocks[0].Insts[len(f.Blocks[0].Insts)-1]
+	if ret.Args[0] == v1 {
+		t.Fatalf("copy-prop propagated across a redefinition:\n%s", f)
+	}
+}
+
+func TestLocalCSE(t *testing.T) {
+	f := &ir.Func{Name: "t", Ret: i64}
+	b := f.NewBlock()
+	a := f.NewValue(i64)
+	c := f.NewValue(i64)
+	s1 := f.NewValue(i64)
+	s2 := f.NewValue(i64)
+	r := f.NewValue(i64)
+	// Use opaque sources (call results) so const-folding can't interfere.
+	b.Insts = []*ir.Inst{
+		{Op: ir.OpCall, Callee: "src", Res: a},
+		{Op: ir.OpCall, Callee: "src", Res: c},
+		{Op: ir.OpAdd, Res: s1, Args: []ir.Value{a, c}},
+		{Op: ir.OpAdd, Res: s2, Args: []ir.Value{a, c}}, // same expr
+		{Op: ir.OpAdd, Res: r, Args: []ir.Value{s1, s2}},
+		{Op: ir.OpRet, Res: ir.NoValue, Args: []ir.Value{r}},
+	}
+	mod := ir.NewModule()
+	mod.AddFunc(f)
+	Run(mod, Passes{LocalCSE: true})
+	count := 0
+	for _, in := range f.Blocks[0].Insts {
+		if in.Op == ir.OpCopy {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Errorf("CSE should rewrite the duplicate add into a copy:\n%s", f)
+	}
+}

@@ -1,0 +1,115 @@
+package taint_test
+
+import (
+	"strings"
+	"testing"
+
+	"confllvm/internal/irgen"
+	"confllvm/internal/minic"
+	"confllvm/internal/taint"
+	"confllvm/internal/types"
+)
+
+func infer(t *testing.T, src string, opts taint.Options) (*taint.Assignment, error) {
+	t.Helper()
+	gen := &minic.QualGen{}
+	f, err := minic.Parse("t.c", src, nil, gen)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	mod, err := irgen.Gen([]*minic.File{f}, gen)
+	if err != nil {
+		t.Fatalf("irgen: %v", err)
+	}
+	return taint.Infer(mod, gen.Count(), opts)
+}
+
+func TestTransitivePropagation(t *testing.T) {
+	// private -> a -> b -> c -> public sink: caught through the chain.
+	_, err := infer(t, `
+extern void get(private long *out);
+extern void put(long v);
+void f() {
+	long a;
+	get(&a);
+	long b = a + 1;
+	long c = b * 2;
+	put(c);
+}
+`, taint.Options{})
+	if err == nil {
+		t.Fatal("transitive flow not caught")
+	}
+}
+
+func TestPublicIntoPrivateIsFine(t *testing.T) {
+	if _, err := infer(t, `
+extern void sink(private long v);
+void f() { sink(42); }
+`, taint.Options{}); err != nil {
+		t.Fatalf("L ⊑ H must be allowed: %v", err)
+	}
+}
+
+func TestPointeeInvariance(t *testing.T) {
+	// Assigning a pointer-to-private where pointer-to-public is expected
+	// must fail even without a dereference (deep invariance).
+	_, err := infer(t, `
+extern void take_pub(char *p);
+void f(private char *s) {
+	take_pub(s);
+}
+`, taint.Options{})
+	if err == nil {
+		t.Fatal("pointee-qualifier mismatch not caught")
+	}
+}
+
+func TestBranchWarningsAndStrict(t *testing.T) {
+	src := `
+extern void get(private long *out);
+void f() {
+	long a;
+	get(&a);
+	if (a > 0) { a = 1; }
+}
+`
+	a, err := infer(t, src, taint.Options{})
+	if err != nil {
+		t.Fatalf("non-strict must accept with a warning: %v", err)
+	}
+	if len(a.BranchWarnings) == 0 {
+		t.Fatal("expected an implicit-flow warning")
+	}
+	if _, err := infer(t, src, taint.Options{Strict: true}); err == nil {
+		t.Fatal("strict mode must reject branch on private")
+	}
+	if _, err := infer(t, src, taint.Options{Strict: true, AllPrivate: true}); err != nil {
+		t.Fatalf("all-private mode has no implicit flows: %v", err)
+	}
+}
+
+func TestErrorCarriesPosition(t *testing.T) {
+	_, err := infer(t, `
+extern void get(private long *out);
+extern void put(long v);
+void f() {
+	long a;
+	get(&a);
+	put(a);
+}
+`, taint.Options{})
+	if err == nil {
+		t.Fatal("expected violation")
+	}
+	if !strings.Contains(err.Error(), "t.c:7") {
+		t.Fatalf("error lacks the leaking line: %v", err)
+	}
+}
+
+func TestAllPrivateAssignment(t *testing.T) {
+	a := taint.AllPrivateAssignment()
+	if !a.IsPrivate(types.Public) || !a.IsPrivate(types.Qual(3)) {
+		t.Fatal("all-private must resolve everything private")
+	}
+}

@@ -1,0 +1,352 @@
+package trt
+
+import (
+	"math"
+
+	"confllvm/internal/machine"
+)
+
+// Handlers returns the standard T library keyed by the extern names U
+// declares. The miniC-side signatures are:
+//
+//	extern int   recv(int fd, char *buf, int size);
+//	extern int   send(int fd, char *buf, int size);
+//	extern void  decrypt(char *src, private char *dst, int size);
+//	extern void  encrypt(private char *src, char *dst, int size);
+//	extern void  encrypt_log(private char *src, char *dst, int size);
+//	extern void  read_passwd(char *uname, private char *pass, int size);
+//	extern int   read_file(char *name, char *buf, int size);
+//	extern int   read_file_priv(char *name, private char *buf, int size);
+//	extern int   write_file(char *name, char *buf, int size);
+//	extern void *malloc(long size);
+//	extern void  free(void *p);
+//	extern private void *malloc_priv(long size);
+//	extern void  free_priv(private void *p);
+//	extern long  input(int idx);
+//	extern void  input_priv(int idx, private char *buf, int size);
+//	extern void  output(long v);
+//	extern long  hash_declass(private char *buf, int size);
+//	extern void  thread_spawn(void (*fn)(long), long arg);
+//	extern long  rand_next(void);
+//	extern void  debug_print(char *s, long v);
+//	extern long  classify_declass(private double *scores, int n);
+//	extern void  log_write(char *buf, int size);
+func (c *Context) Handlers() map[string]machine.Handler {
+	h := map[string]machine.Handler{}
+
+	h["send"] = c.handler(func(m *machine.Machine, t *machine.Thread) (uint64, uint64, *machine.Fault) {
+		buf, size := arg(t, 1), arg(t, 2)
+		if f := c.CheckPub(buf, size); f != nil {
+			return 0, 0, f
+		}
+		data := make([]byte, size)
+		if f := m.Mem.ReadBytes(buf, data); f != nil {
+			return 0, 0, f
+		}
+		c.NetOut = append(c.NetOut, data)
+		return size, size, nil
+	})
+
+	h["recv"] = c.handler(func(m *machine.Machine, t *machine.Thread) (uint64, uint64, *machine.Fault) {
+		buf, size := arg(t, 1), arg(t, 2)
+		if f := c.CheckPub(buf, size); f != nil {
+			return 0, 0, f
+		}
+		if len(c.NetIn) == 0 {
+			return 0, 0, nil
+		}
+		pkt := c.NetIn[0]
+		c.NetIn = c.NetIn[1:]
+		n := uint64(len(pkt))
+		if n > size {
+			n = size
+		}
+		if f := m.Mem.WriteBytes(buf, pkt[:n]); f != nil {
+			return 0, 0, f
+		}
+		return n, n, nil
+	})
+
+	h["decrypt"] = c.handler(func(m *machine.Machine, t *machine.Thread) (uint64, uint64, *machine.Fault) {
+		src, dst, size := arg(t, 0), arg(t, 1), arg(t, 2)
+		if f := c.CheckPub(src, size); f != nil {
+			return 0, 0, f
+		}
+		if f := c.CheckPriv(dst, size); f != nil {
+			return 0, 0, f
+		}
+		data := make([]byte, size)
+		if f := m.Mem.ReadBytes(src, data); f != nil {
+			return 0, 0, f
+		}
+		if f := m.Mem.WriteBytes(dst, c.DecryptBytes(data)); f != nil {
+			return 0, 0, f
+		}
+		return 0, 2 * size, nil
+	})
+
+	h["encrypt"] = c.handler(func(m *machine.Machine, t *machine.Thread) (uint64, uint64, *machine.Fault) {
+		src, dst, size := arg(t, 0), arg(t, 1), arg(t, 2)
+		if f := c.CheckPriv(src, size); f != nil {
+			return 0, 0, f
+		}
+		if f := c.CheckPub(dst, size); f != nil {
+			return 0, 0, f
+		}
+		data := make([]byte, size)
+		if f := m.Mem.ReadBytes(src, data); f != nil {
+			return 0, 0, f
+		}
+		if f := m.Mem.WriteBytes(dst, c.EncryptBytes(data)); f != nil {
+			return 0, 0, f
+		}
+		return 0, 2 * size, nil
+	})
+
+	h["encrypt_log"] = h["encrypt"]
+
+	// ssl_send models OpenSSL's send path living in T (the paper's NGINX
+	// split): it accepts a *private* buffer, encrypts it with the session
+	// key and puts the ciphertext on the wire.
+	h["ssl_send"] = c.handler(func(m *machine.Machine, t *machine.Thread) (uint64, uint64, *machine.Fault) {
+		buf, size := arg(t, 1), arg(t, 2)
+		if f := c.CheckPriv(buf, size); f != nil {
+			return 0, 0, f
+		}
+		data := make([]byte, size)
+		if f := m.Mem.ReadBytes(buf, data); f != nil {
+			return 0, 0, f
+		}
+		c.NetOut = append(c.NetOut, c.EncryptBytes(data))
+		return size, 2 * size, nil
+	})
+
+	h["read_passwd"] = c.handler(func(m *machine.Machine, t *machine.Thread) (uint64, uint64, *machine.Fault) {
+		uname, pass, size := arg(t, 0), arg(t, 1), arg(t, 2)
+		if f := c.CheckPub(uname, 1); f != nil {
+			return 0, 0, f
+		}
+		if f := c.CheckPriv(pass, size); f != nil {
+			return 0, 0, f
+		}
+		name, f := ReadCStr(m, uname)
+		if f != nil {
+			return 0, 0, f
+		}
+		pw := c.Passwords[name]
+		buf := make([]byte, size)
+		copy(buf, pw)
+		if f := m.Mem.WriteBytes(pass, buf); f != nil {
+			return 0, 0, f
+		}
+		return 0, size, nil
+	})
+
+	readFile := func(private bool) machine.Handler {
+		return c.handler(func(m *machine.Machine, t *machine.Thread) (uint64, uint64, *machine.Fault) {
+			nameA, buf, size := arg(t, 0), arg(t, 1), arg(t, 2)
+			if f := c.CheckPub(nameA, 1); f != nil {
+				return 0, 0, f
+			}
+			var chk *machine.Fault
+			if private {
+				chk = c.CheckPriv(buf, size)
+			} else {
+				chk = c.CheckPub(buf, size)
+			}
+			if chk != nil {
+				return 0, 0, chk
+			}
+			name, f := ReadCStr(m, nameA)
+			if f != nil {
+				return 0, 0, f
+			}
+			var content []byte
+			if private {
+				content = c.PrivFiles[name]
+			} else {
+				content = c.Files[name]
+			}
+			n := uint64(len(content))
+			if n > size {
+				n = size
+			}
+			if f := m.Mem.WriteBytes(buf, content[:n]); f != nil {
+				return 0, 0, f
+			}
+			return n, n, nil
+		})
+	}
+	h["read_file"] = readFile(false)
+	h["read_file_priv"] = readFile(true)
+
+	h["write_file"] = c.handler(func(m *machine.Machine, t *machine.Thread) (uint64, uint64, *machine.Fault) {
+		nameA, buf, size := arg(t, 0), arg(t, 1), arg(t, 2)
+		if f := c.CheckPub(nameA, 1); f != nil {
+			return 0, 0, f
+		}
+		if f := c.CheckPub(buf, size); f != nil {
+			return 0, 0, f
+		}
+		name, f := ReadCStr(m, nameA)
+		if f != nil {
+			return 0, 0, f
+		}
+		data := make([]byte, size)
+		if f := m.Mem.ReadBytes(buf, data); f != nil {
+			return 0, 0, f
+		}
+		c.Files[name] = data
+		return size, size, nil
+	})
+
+	h["log_write"] = c.handler(func(m *machine.Machine, t *machine.Thread) (uint64, uint64, *machine.Fault) {
+		buf, size := arg(t, 0), arg(t, 1)
+		if f := c.CheckPub(buf, size); f != nil {
+			return 0, 0, f
+		}
+		data := make([]byte, size)
+		if f := m.Mem.ReadBytes(buf, data); f != nil {
+			return 0, 0, f
+		}
+		c.Log = append(c.Log, data...)
+		return size, size, nil
+	})
+
+	h["malloc"] = c.handler(func(m *machine.Machine, t *machine.Thread) (uint64, uint64, *machine.Fault) {
+		addr, err := c.PubAlloc.Alloc(arg(t, 0))
+		if err != nil {
+			return 0, 0, tfault("%v", err)
+		}
+		return addr, 0, nil
+	})
+	h["malloc_priv"] = c.handler(func(m *machine.Machine, t *machine.Thread) (uint64, uint64, *machine.Fault) {
+		addr, err := c.PrivAlloc.Alloc(arg(t, 0))
+		if err != nil {
+			return 0, 0, tfault("%v", err)
+		}
+		return addr, 0, nil
+	})
+	h["free"] = c.handler(func(m *machine.Machine, t *machine.Thread) (uint64, uint64, *machine.Fault) {
+		if err := c.PubAlloc.Free(arg(t, 0)); err != nil {
+			return 0, 0, tfault("%v", err)
+		}
+		return 0, 0, nil
+	})
+	h["free_priv"] = c.handler(func(m *machine.Machine, t *machine.Thread) (uint64, uint64, *machine.Fault) {
+		if err := c.PrivAlloc.Free(arg(t, 0)); err != nil {
+			return 0, 0, tfault("%v", err)
+		}
+		return 0, 0, nil
+	})
+
+	h["input"] = c.handler(func(m *machine.Machine, t *machine.Thread) (uint64, uint64, *machine.Fault) {
+		i := int(int64(arg(t, 0)))
+		if i < 0 || i >= len(c.Params) {
+			return 0, 0, nil
+		}
+		return uint64(c.Params[i]), 0, nil
+	})
+
+	h["input_priv"] = c.handler(func(m *machine.Machine, t *machine.Thread) (uint64, uint64, *machine.Fault) {
+		i, buf, size := int(int64(arg(t, 0))), arg(t, 1), arg(t, 2)
+		if f := c.CheckPriv(buf, size); f != nil {
+			return 0, 0, f
+		}
+		data := c.PrivIn[i]
+		n := uint64(len(data))
+		if n > size {
+			n = size
+		}
+		out := make([]byte, size)
+		copy(out, data[:n])
+		if f := m.Mem.WriteBytes(buf, out); f != nil {
+			return 0, 0, f
+		}
+		return 0, size, nil
+	})
+
+	h["output"] = c.handler(func(m *machine.Machine, t *machine.Thread) (uint64, uint64, *machine.Fault) {
+		// output's argument is a *public* long: it is a declassification-
+		// free sink, so the compiler must already have proven the value
+		// public. T needs no further check for scalar register values.
+		c.Outputs = append(c.Outputs, int64(arg(t, 0)))
+		return 0, 0, nil
+	})
+
+	h["hash_declass"] = c.handler(func(m *machine.Machine, t *machine.Thread) (uint64, uint64, *machine.Fault) {
+		buf, size := arg(t, 0), arg(t, 1)
+		if f := c.CheckPriv(buf, size); f != nil {
+			return 0, 0, f
+		}
+		data := make([]byte, size)
+		if f := m.Mem.ReadBytes(buf, data); f != nil {
+			return 0, 0, f
+		}
+		// FNV-1a, declassified as a public hash (the paper's Merkle-tree
+		// integrity library, §7.5).
+		hash := uint64(14695981039346656037)
+		for _, b := range data {
+			hash ^= uint64(b)
+			hash *= 1099511628211
+		}
+		return hash, size, nil
+	})
+
+	h["thread_spawn"] = c.handler(func(m *machine.Machine, t *machine.Thread) (uint64, uint64, *machine.Fault) {
+		fn, a0 := arg(t, 0), arg(t, 1)
+		if c.Spawn == nil {
+			return 0, 0, tfault("thread_spawn: no spawner wired")
+		}
+		if err := c.Spawn(fn, a0); err != nil {
+			return 0, 0, tfault("thread_spawn: %v", err)
+		}
+		return 0, 0, nil
+	})
+
+	h["rand_next"] = c.handler(func(m *machine.Machine, t *machine.Thread) (uint64, uint64, *machine.Fault) {
+		return c.Rand.Uint64(), 0, nil
+	})
+
+	h["debug_print"] = c.handler(func(m *machine.Machine, t *machine.Thread) (uint64, uint64, *machine.Fault) {
+		s, v := arg(t, 0), arg(t, 1)
+		if f := c.CheckPub(s, 1); f != nil {
+			return 0, 0, f
+		}
+		str, f := ReadCStr(m, s)
+		if f != nil {
+			return 0, 0, f
+		}
+		c.Log = append(c.Log, []byte(str)...)
+		c.Log = append(c.Log, le64(v)...)
+		return 0, 0, nil
+	})
+
+	h["classify_declass"] = c.handler(func(m *machine.Machine, t *machine.Thread) (uint64, uint64, *machine.Fault) {
+		scores, n := arg(t, 0), arg(t, 1)
+		if f := c.CheckPriv(scores, n*8); f != nil {
+			return 0, 0, f
+		}
+		// Declassify only the argmax class index (Privado's declassifier,
+		// §7.4).
+		best, bestIdx := -1.0e308, uint64(0)
+		for i := uint64(0); i < n; i++ {
+			bits, f := m.Mem.Read(scores+8*i, 8)
+			if f != nil {
+				return 0, 0, f
+			}
+			v := float64frombits(bits)
+			if v > best {
+				best, bestIdx = v, i
+			}
+		}
+		return bestIdx, n * 8, nil
+	})
+
+	for name, fn := range c.extra {
+		h[name] = fn
+	}
+	return h
+}
+
+func float64frombits(b uint64) float64 { return math.Float64frombits(b) }

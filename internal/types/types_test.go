@@ -1,0 +1,107 @@
+package types
+
+import "testing"
+
+func TestQualifierBasics(t *testing.T) {
+	if Public.IsVar() || Private.IsVar() {
+		t.Error("constants are not variables")
+	}
+	if !Qual(0).IsVar() || !Qual(7).IsVar() {
+		t.Error("non-negative quals are variables")
+	}
+}
+
+func TestWithQualRewritesArrays(t *testing.T) {
+	arr := MakeArray(MakeInt(4, true, Public), 8)
+	p := arr.WithQual(Private)
+	if p.Qual != Private || p.Elem.Qual != Private {
+		t.Error("array qualifier must apply to elements (uniform objects)")
+	}
+	if arr.Qual != Public {
+		t.Error("WithQual must not mutate the original")
+	}
+}
+
+func TestFieldInheritance(t *testing.T) {
+	// struct st { private int *p; }; private st x  =>  x.p is a private
+	// pointer to private int (the paper's §5.1 example).
+	inner := MakePtr(MakeInt(4, true, Private), Public)
+	st := &Type{Kind: Struct, Name: "st", Qual: Public,
+		Fields: []Field{{Name: "p", Type: inner}}}
+	st.Layout()
+
+	pub := st.Clone()
+	ft, _ := pub.FieldType("p")
+	if ft.Qual != Public || ft.Elem.Qual != Private {
+		t.Errorf("public st: field is %s", ft)
+	}
+
+	priv := st.WithQual(Private)
+	ft2, _ := priv.FieldType("p")
+	if ft2.Qual != Private || ft2.Elem.Qual != Private {
+		t.Errorf("private st: field is %s, want private pointer to private int", ft2)
+	}
+}
+
+func TestLayoutPaddingAndUnions(t *testing.T) {
+	st := &Type{Kind: Struct, Name: "s", Fields: []Field{
+		{Name: "a", Type: MakeInt(1, true, Public)},
+		{Name: "b", Type: MakeInt(8, true, Public)},
+		{Name: "c", Type: MakeInt(2, true, Public)},
+	}}
+	st.Layout()
+	if st.SizeOf() != 24 || st.Align() != 8 {
+		t.Errorf("size=%d align=%d, want 24/8", st.SizeOf(), st.Align())
+	}
+	_, boff := st.FieldType("b")
+	if boff != 8 {
+		t.Errorf("b at %d, want 8", boff)
+	}
+	un := &Type{Kind: Union, Name: "u", Fields: []Field{
+		{Name: "i", Type: MakeInt(4, true, Public)},
+		{Name: "d", Type: MakeFloat(Public)},
+	}}
+	un.Layout()
+	if un.SizeOf() != 8 {
+		t.Errorf("union size %d, want 8", un.SizeOf())
+	}
+	for _, f := range un.Fields {
+		if f.Offset != 0 {
+			t.Error("union fields must overlay at offset 0")
+		}
+	}
+}
+
+func TestDecayAndShape(t *testing.T) {
+	arr := MakeArray(MakeInt(1, true, Private), 16)
+	d := Decay(arr)
+	if d.Kind != Ptr || d.Elem.Qual != Private {
+		t.Errorf("decay produced %s", d)
+	}
+	if !SameShape(MakePtr(MakeInt(4, true, Public), Public),
+		MakePtr(MakeInt(4, true, Private), Private)) {
+		t.Error("SameShape must ignore qualifiers")
+	}
+	if SameShape(MakeInt(4, true, Public), MakeInt(8, true, Public)) {
+		t.Error("different widths are different shapes")
+	}
+}
+
+func TestSizeOf(t *testing.T) {
+	cases := []struct {
+		ty   *Type
+		want int
+	}{
+		{MakeVoid(), 0},
+		{MakeInt(1, true, Public), 1},
+		{MakeInt(8, false, Public), 8},
+		{MakeFloat(Public), 8},
+		{MakePtr(MakeVoid(), Public), 8},
+		{MakeArray(MakeInt(4, true, Public), 10), 40},
+	}
+	for _, c := range cases {
+		if got := c.ty.SizeOf(); got != c.want {
+			t.Errorf("sizeof(%s) = %d, want %d", c.ty, got, c.want)
+		}
+	}
+}

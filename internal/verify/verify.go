@@ -1,0 +1,277 @@
+// Package verify implements ConfVerify (§5.2): an independent static
+// verifier that checks a *linked binary* — not the compiler — for the
+// instrumentation that guarantees confidentiality. It takes only the code
+// bytes, the two magic prefixes and the layout as input:
+//
+//  1. it locates procedure entries by scanning for the MCall prefix and
+//     disassembles each procedure, reconstructing its CFG (decoding
+//     failure rejects the binary);
+//  2. it re-infers register taints by dataflow, seeding from the magic
+//     words' taint bits;
+//  3. it checks every memory operand's taint evidence (MPX checks in the
+//     same basic block, or segment prefixes with the 32-bit operand
+//     constraint), every call/return/indirect-call against the taint-
+//     aware CFI discipline, and rejects syscalls, segment-register
+//     writes, plain rets, and stray indirect jumps.
+//
+// Like the paper's ConfVerify, it is vastly simpler than the compiler: no
+// register allocation, no optimization — just decoding and a lattice
+// dataflow. It verifies the deployable configurations (CFI + MPX or
+// segmentation with separated stacks).
+package verify
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"confllvm/internal/asm"
+	"confllvm/internal/codegen"
+	"confllvm/internal/link"
+)
+
+// Options tunes verification.
+type Options struct {
+	// Strict additionally rejects conditional branches on private flags
+	// (implicit-flow-free mode).
+	Strict bool
+}
+
+// Error is a verification rejection.
+type Error struct {
+	Off int // code offset
+	Msg string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("confverify: offset %#x: %s", e.Off, e.Msg)
+}
+
+// Verify checks a linked image. A nil return means the binary carries all
+// the instrumentation needed for confidentiality.
+func Verify(img *link.Image, opts Options) error {
+	conf := img.Config
+	if !conf.CFI {
+		return fmt.Errorf("confverify: only CFI-enabled configurations are verifiable")
+	}
+	if conf.Bounds == codegen.BoundsNone {
+		return fmt.Errorf("confverify: configuration carries no bounds enforcement")
+	}
+	if !conf.SeparateStacks {
+		return fmt.Errorf("confverify: single-stack ablation is not a verifiable configuration")
+	}
+	v := &verifier{img: img, opts: opts, code: img.Code}
+	return v.run()
+}
+
+type verifier struct {
+	img  *link.Image
+	opts Options
+	code []byte
+
+	mcallOffs map[int]uint64 // offset -> magic word
+	mretOffs  map[int]uint64
+
+	// usedMagic tracks magic occurrences legitimized during disassembly.
+	usedMagic map[int]bool
+}
+
+func (v *verifier) run() error {
+	v.scanMagic()
+
+	// Every procedure entry: disassemble and check.
+	entries := make([]int, 0, len(v.mcallOffs))
+	for off := range v.mcallOffs {
+		entries = append(entries, off)
+	}
+	sort.Ints(entries)
+	v.usedMagic = map[int]bool{}
+	for off := range v.mcallOffs {
+		v.usedMagic[off] = true // entry magic words are legitimate
+	}
+
+	for _, off := range entries {
+		p, err := v.disassemble(off)
+		if err != nil {
+			return err
+		}
+		if p.isStub {
+			continue
+		}
+		if err := v.checkProc(p); err != nil {
+			return err
+		}
+	}
+
+	// Exit shims: MRet word immediately followed by exit.
+	for off := range v.mretOffs {
+		if v.usedMagic[off] {
+			continue
+		}
+		if inst, _, err := asm.Decode(v.code, off+8); err == nil && inst.Op == asm.OpExit {
+			v.usedMagic[off] = true
+		}
+	}
+
+	// Any magic occurrence we did not legitimize is suspicious.
+	for off := range v.mcallOffs {
+		if !v.usedMagic[off] {
+			return &Error{off, "stray MCall magic word"}
+		}
+	}
+	for off := range v.mretOffs {
+		if !v.usedMagic[off] {
+			return &Error{off, "stray MRet magic word"}
+		}
+	}
+	return nil
+}
+
+// scanMagic finds every occurrence of the two prefixes at every byte
+// offset.
+func (v *verifier) scanMagic() {
+	v.mcallOffs = map[int]uint64{}
+	v.mretOffs = map[int]uint64{}
+	for i := 0; i+8 <= len(v.code); i++ {
+		w := binary.LittleEndian.Uint64(v.code[i:])
+		switch w &^ 31 {
+		case v.img.MCallPrefix:
+			v.mcallOffs[i] = w
+		case v.img.MRetPrefix:
+			v.mretOffs[i] = w
+		}
+	}
+}
+
+// inst is a decoded instruction with layout info.
+type inst struct {
+	asm.Inst
+	off  int
+	size int
+	// retSite is set on calls: the code offset of the following MRet word.
+	retSite int
+	// Structural-pass annotations.
+	icallBits uint8 // expected MCall taint bits at a checked indirect call
+	icallOK   bool
+	retBit    uint8 // MRet taint bit checked by the return idiom
+	retOK     bool
+}
+
+// proc is a disassembled procedure.
+type proc struct {
+	entryOff int // offset of first instruction (magic+8)
+	bits     uint8
+	insts    map[int]*inst
+	order    []int // sorted instruction offsets
+	leaders  map[int]bool
+	isStub   bool
+}
+
+// disassemble decodes the procedure whose MCall magic word is at magicOff,
+// following intra-procedural control flow.
+func (v *verifier) disassemble(magicOff int) (*proc, error) {
+	p := &proc{
+		entryOff: magicOff + 8,
+		bits:     uint8(v.mcallOffs[magicOff] & 31),
+		insts:    map[int]*inst{},
+	}
+	p.leaders = map[int]bool{p.entryOff: true}
+
+	codeBase := v.img.Layout.CodeBase
+	toOff := func(addr uint64) (int, bool) {
+		if addr < codeBase {
+			return 0, false
+		}
+		o := int(addr - codeBase)
+		return o, o < len(v.code)
+	}
+
+	work := []int{p.entryOff}
+	for len(work) > 0 {
+		off := work[len(work)-1]
+		work = work[:len(work)-1]
+		if _, done := p.insts[off]; done {
+			continue
+		}
+		in, n, err := asm.Decode(v.code, off)
+		if err != nil {
+			return nil, &Error{off, "undecodable instruction: " + err.Error()}
+		}
+		pi := &inst{Inst: in, off: off, size: n, retSite: -1}
+		p.insts[off] = pi
+
+		switch in.Op {
+		case asm.OpRet:
+			return nil, &Error{off, "plain ret is forbidden under taint-aware CFI"}
+		case asm.OpSyscall:
+			return nil, &Error{off, "syscall in untrusted code"}
+		case asm.OpWrFS, asm.OpWrGS:
+			return nil, &Error{off, "segment register write in untrusted code"}
+		case asm.OpJmp:
+			t, ok := toOff(uint64(in.Imm))
+			if !ok {
+				return nil, &Error{off, "jump target outside code"}
+			}
+			p.leaders[t] = true
+			work = append(work, t)
+		case asm.OpJcc:
+			t, ok := toOff(uint64(in.Imm))
+			if !ok {
+				return nil, &Error{off, "jcc target outside code"}
+			}
+			p.leaders[t] = true
+			p.leaders[off+n] = true
+			work = append(work, t, off+n)
+		case asm.OpCall, asm.OpICall:
+			// The next 8 bytes must be a valid MRet word; execution
+			// resumes after it.
+			rs := off + n
+			if _, ok := v.mretOffs[rs]; !ok {
+				return nil, &Error{off, "call without a return-site MRet magic word"}
+			}
+			v.usedMagic[rs] = true
+			pi.retSite = rs
+			p.leaders[rs+8] = true
+			work = append(work, rs+8)
+			if in.Op == asm.OpCall {
+				// Direct call target must be a magic-preceded entry.
+				t, ok := toOff(uint64(in.Imm))
+				if !ok || t < 8 {
+					return nil, &Error{off, "call target outside code"}
+				}
+				if _, isEntry := v.mcallOffs[t-8]; !isEntry {
+					return nil, &Error{off, "call target is not a procedure entry"}
+				}
+			}
+		case asm.OpJmpR, asm.OpTrap, asm.OpExit:
+			// Terminators; validated in the block pass.
+		default:
+			// Straight-line instruction: fall through.
+			work = append(work, off+n)
+		}
+	}
+
+	for off := range p.insts {
+		p.order = append(p.order, off)
+	}
+	sort.Ints(p.order)
+
+	// Stub recognition: exactly mov r11, slot; load r11, [r11]; jmp r11
+	// with the slot inside the read-only externals table.
+	if len(p.order) == 3 {
+		i0 := p.insts[p.order[0]]
+		i1 := p.insts[p.order[1]]
+		i2 := p.insts[p.order[2]]
+		if i0.Op == asm.OpMovRI && i1.Op == asm.OpLoad && i2.Op == asm.OpJmpR &&
+			i1.M.Base == i0.Dst && i2.Src == i1.Dst {
+			tbl := v.img.Layout.ExtTableBase()
+			slot := uint64(i0.Imm)
+			if slot >= tbl && slot < tbl+uint64(8*len(v.img.Externals)) {
+				p.isStub = true
+				return p, nil
+			}
+			return nil, &Error{i0.off, "stub jumps through an address outside the externals table"}
+		}
+	}
+	return p, nil
+}
