@@ -3,21 +3,80 @@
 //
 // Usage:
 //
-//	confbench [-figure all|5|6|7|8|ldap]
+//	confbench [-figure all|5|6|7|8|ldap] [-json] [-out BENCH_interp.json]
+//
+// With -json, every measurement (simulated wall cycles, instruction count,
+// host run time, interpreter MIPS) is also written to a JSON file so later
+// changes have a perf trajectory to compare against.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"confllvm"
 	"confllvm/internal/bench"
 )
 
+// benchRow is one (figure, workload, variant) measurement in the JSON
+// report.
+type benchRow struct {
+	Figure     string  `json:"figure"`
+	Workload   string  `json:"workload"`
+	Variant    string  `json:"variant"`
+	WallCycles uint64  `json:"wall_cycles"`
+	Instrs     uint64  `json:"instrs"`
+	HostNS     int64   `json:"host_ns"`
+	MIPS       float64 `json:"mips"`
+}
+
+// benchReport is the BENCH_interp.json schema.
+type benchReport struct {
+	GeneratedAt string `json:"generated_at"`
+	// FigureFilter records the -figure selection so partial runs are never
+	// mistaken for a full-suite trajectory point.
+	FigureFilter string     `json:"figure_filter"`
+	TotalInstrs  uint64     `json:"total_instrs"`
+	TotalHostNS  int64      `json:"total_host_ns"`
+	MIPS         float64    `json:"mips"` // aggregate simulated instructions/sec, in millions
+	Rows         []benchRow `json:"rows"`
+}
+
+var report *benchReport
+
+// record adds a measurement to the JSON report (no-op without -json).
+func record(figure, workload string, v confllvm.Variant, m *bench.Measurement) {
+	if report == nil {
+		return
+	}
+	report.TotalInstrs += m.Stats.Instrs
+	report.TotalHostNS += m.HostNS
+	report.Rows = append(report.Rows, benchRow{
+		Figure: figure, Workload: workload, Variant: v.String(),
+		WallCycles: m.Wall, Instrs: m.Stats.Instrs, HostNS: m.HostNS,
+		MIPS: m.MIPS(),
+	})
+}
+
 func main() {
 	figure := flag.String("figure", "all", "which figure to regenerate: all, 5, 6, 7, 8, ldap")
+	jsonOut := flag.Bool("json", false, "also write a JSON perf report")
+	outPath := flag.String("out", "BENCH_interp.json", "path of the JSON report (with -json)")
 	flag.Parse()
+
+	if *jsonOut {
+		report = &benchReport{
+			GeneratedAt:  time.Now().UTC().Format(time.RFC3339),
+			FigureFilter: *figure,
+		}
+		if *figure != "all" && *outPath == "BENCH_interp.json" {
+			fmt.Fprintf(os.Stderr, "confbench: note: partial run (-figure %s) writing the default %s; "+
+				"aggregate MIPS and row counts are not comparable to full-suite reports\n", *figure, *outPath)
+		}
+	}
 
 	run := func(name string, fn func() error) {
 		if *figure != "all" && *figure != name {
@@ -33,6 +92,24 @@ func main() {
 	run("ldap", ldap)
 	run("7", fig7)
 	run("8", fig8)
+
+	if report != nil {
+		if report.TotalHostNS > 0 {
+			report.MIPS = float64(report.TotalInstrs) / 1e6 / (float64(report.TotalHostNS) / 1e9)
+		}
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "confbench: marshal report: %v\n", err)
+			os.Exit(1)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*outPath, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "confbench: write report: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d rows, interpreter throughput %.1f MIPS)\n",
+			*outPath, len(report.Rows), report.MIPS)
+	}
 }
 
 func fig5() error {
@@ -46,6 +123,7 @@ func fig5() error {
 				return err
 			}
 			tbl.Set(k.Name, v, m.Wall)
+			record("fig5", k.Name, v, m)
 		}
 	}
 	fmt.Println(tbl)
@@ -68,6 +146,7 @@ func fig6() error {
 				return err
 			}
 			tbl.Set(fmt.Sprintf("resp-%02dKB", kb), v, m.Wall/uint64(reqs))
+			record("fig6", fmt.Sprintf("resp-%02dKB", kb), v, m)
 		}
 	}
 	fmt.Println(tbl)
@@ -88,6 +167,7 @@ func ldap() error {
 				return err
 			}
 			tbl.Set(mode.name, v, m.Wall/queries)
+			record("ldap", mode.name, v, m)
 		}
 	}
 	fmt.Println(tbl)
@@ -105,6 +185,7 @@ func fig7() error {
 			return err
 		}
 		tbl.Set("classify", v, m.Wall/images)
+		record("fig7", "classify", v, m)
 	}
 	fmt.Println(tbl)
 	return nil
@@ -120,6 +201,7 @@ func fig8() error {
 				return err
 			}
 			tbl.Set(fmt.Sprintf("%d-threads", n), v, m.Wall)
+			record("fig8", fmt.Sprintf("%d-threads", n), v, m)
 		}
 	}
 	fmt.Println(tbl)

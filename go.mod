@@ -1,0 +1,3 @@
+module confllvm
+
+go 1.22

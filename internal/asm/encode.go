@@ -196,19 +196,29 @@ func Encode(buf []byte, inst Inst) []byte {
 // or a truncated stream — which is exactly what happens when control flow
 // lands in the middle of data (such as a magic sequence).
 func Decode(code []byte, off int) (Inst, int, error) {
+	var inst Inst
+	n, err := DecodeInto(&inst, code, off)
+	return inst, n, err
+}
+
+// DecodeInto decodes one instruction starting at code[off] into *inst,
+// returning the encoded length. It is the allocation-free form of Decode
+// for callers that decode into long-lived instruction arrays (the
+// machine's per-region decode traces).
+func DecodeInto(inst *Inst, code []byte, off int) (int, error) {
 	if off < 0 || off >= len(code) {
-		return Inst{}, 0, fmt.Errorf("asm: decode offset %d out of range", off)
+		return 0, fmt.Errorf("asm: decode offset %d out of range", off)
 	}
 	op := Op(code[off])
 	if op == OpInvalid || op >= numOps {
-		return Inst{}, 0, fmt.Errorf("asm: invalid opcode 0x%02x at offset %d", code[off], off)
+		return 0, fmt.Errorf("asm: invalid opcode 0x%02x at offset %d", code[off], off)
 	}
 	n := EncodedLen(op)
 	if off+n > len(code) {
-		return Inst{}, 0, fmt.Errorf("asm: truncated instruction at offset %d", off)
+		return 0, fmt.Errorf("asm: truncated instruction at offset %d", off)
 	}
 	b := code[off+1 : off+n]
-	inst := Inst{Op: op}
+	*inst = Inst{Op: op}
 	switch opKinds[op] {
 	case kNone:
 	case kR:
@@ -256,7 +266,7 @@ func Decode(code []byte, off int) (Inst, int, error) {
 	case kRF:
 		inst.Dst, inst.FSrc = Reg(b[0]), FReg(b[1])
 	}
-	return inst, n, nil
+	return n, nil
 }
 
 // AppendMagic appends a raw 8-byte magic word (little endian) to buf.

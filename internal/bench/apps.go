@@ -111,7 +111,7 @@ func RunLDAP(v confllvm.Variant, queries, missRate int) (*Measurement, error) {
 	}
 	w := confllvm.NewWorld()
 	w.Params = []int64{int64(queries), int64(missRate)}
-	res, err := confllvm.Run(art, w, nil)
+	res, hostNS, err := timedRun(art, w, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -119,7 +119,7 @@ func RunLDAP(v confllvm.Variant, queries, missRate int) (*Measurement, error) {
 		return nil, fmt.Errorf("ldap [%v]: %v", v, res.Fault)
 	}
 	return &Measurement{Variant: v, Wall: res.WallCycles, Stats: res.Stats,
-		Outputs: res.Outputs, Res: res}, nil
+		Outputs: res.Outputs, Res: res, HostNS: hostNS}, nil
 }
 
 // ---- Privado / SGX image classifier (Fig. 7, §7.4) ----
@@ -231,7 +231,7 @@ func RunClassifier(v confllvm.Variant, images int) (*Measurement, error) {
 	w.PrivIn[1] = mk(192*48, 0.1) // w0
 	w.PrivIn[2] = mk(48*48, 0.1)  // wh
 	w.PrivIn[3] = mk(48*10, 0.1)  // wo
-	res, err := confllvm.Run(art, w, nil)
+	res, hostNS, err := timedRun(art, w, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -239,7 +239,7 @@ func RunClassifier(v confllvm.Variant, images int) (*Measurement, error) {
 		return nil, fmt.Errorf("classifier [%v]: %v", v, res.Fault)
 	}
 	return &Measurement{Variant: v, Wall: res.WallCycles, Stats: res.Stats,
-		Outputs: res.Outputs, Res: res}, nil
+		Outputs: res.Outputs, Res: res, HostNS: hostNS}, nil
 }
 
 // ---- Merkle integrity library (Fig. 8, §7.5) ----
@@ -331,7 +331,7 @@ func RunMerkle(v confllvm.Variant, fileKB, nThreads int) (*Measurement, error) {
 		data[i] = byte(i * 7)
 	}
 	w.PrivIn[0] = data
-	res, err := confllvm.Run(art, w, nil)
+	res, hostNS, err := timedRun(art, w, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -344,7 +344,7 @@ func RunMerkle(v confllvm.Variant, fileKB, nThreads int) (*Measurement, error) {
 		}
 	}
 	return &Measurement{Variant: v, Wall: res.WallCycles, Stats: res.Stats,
-		Outputs: res.Outputs, Res: res}, nil
+		Outputs: res.Outputs, Res: res, HostNS: hostNS}, nil
 }
 
 var _ = trt.DefaultKey

@@ -7,8 +7,12 @@ import (
 )
 
 func TestLDAPSmoke(t *testing.T) {
+	queries := 200
+	if testing.Short() {
+		queries = 40
+	}
 	for _, v := range []confllvm.Variant{confllvm.VariantBase, confllvm.VariantMPX, confllvm.VariantSeg} {
-		m, err := RunLDAP(v, 200, 50)
+		m, err := RunLDAP(v, queries, 50)
 		if err != nil {
 			t.Fatalf("[%v] %v", v, err)
 		}
@@ -34,8 +38,12 @@ func TestClassifierSmoke(t *testing.T) {
 }
 
 func TestMerkleSmoke(t *testing.T) {
+	fileKB, threads := 64, 3
+	if testing.Short() {
+		fileKB, threads = 16, 2
+	}
 	for _, v := range []confllvm.Variant{confllvm.VariantBase, confllvm.VariantSeg, confllvm.VariantMPX} {
-		m, err := RunMerkle(v, 64, 3)
+		m, err := RunMerkle(v, fileKB, threads)
 		if err != nil {
 			t.Fatalf("[%v] %v", v, err)
 		}

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"confllvm"
 	"confllvm/internal/machine"
@@ -18,6 +19,26 @@ type Measurement struct {
 	Stats   machine.Stats
 	Outputs []int64
 	Res     *confllvm.Result
+	// HostNS is the host wall time of the simulation itself (load + run),
+	// used to report interpreter throughput (MIPS).
+	HostNS int64
+}
+
+// MIPS returns the interpreter throughput of this run in millions of
+// simulated instructions per host second (0 if untimed).
+func (m *Measurement) MIPS() float64 {
+	if m.HostNS <= 0 {
+		return 0
+	}
+	return float64(m.Stats.Instrs) / 1e6 / (float64(m.HostNS) / 1e9)
+}
+
+// timedRun executes an artifact and records the host wall time alongside
+// the result.
+func timedRun(art *confllvm.Artifact, w *confllvm.World, mc *machine.Config) (*confllvm.Result, int64, error) {
+	start := time.Now()
+	res, err := confllvm.Run(art, w, mc)
+	return res, time.Since(start).Nanoseconds(), err
 }
 
 var (
@@ -57,7 +78,7 @@ func RunSPEC(k SPECKernel, v confllvm.Variant) (*Measurement, error) {
 	}
 	w := confllvm.NewWorld()
 	w.Params = k.Params
-	res, err := confllvm.Run(art, w, nil)
+	res, hostNS, err := timedRun(art, w, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -65,7 +86,7 @@ func RunSPEC(k SPECKernel, v confllvm.Variant) (*Measurement, error) {
 		return nil, fmt.Errorf("%s [%v]: %v", k.Name, v, res.Fault)
 	}
 	return &Measurement{Variant: v, Wall: res.WallCycles, Stats: res.Stats,
-		Outputs: res.Outputs, Res: res}, nil
+		Outputs: res.Outputs, Res: res, HostNS: hostNS}, nil
 }
 
 // Table renders a paper-style percent-of-base table: one row per workload,

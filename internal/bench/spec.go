@@ -11,16 +11,28 @@ type SPECKernel struct {
 	Name   string
 	Src    string
 	Params []int64 // input(0), input(1), ...
-	Want   int64   // expected checksum (validated by tests)
+	// ShortParams is a reduced input set for `go test -short`: same code
+	// paths, fewer iterations. Checksums differ from the full run, but the
+	// cross-variant identity property holds at any size.
+	ShortParams []int64
+}
+
+// EffectiveParams returns ShortParams when short is set (and they exist),
+// else the full Params.
+func (k SPECKernel) EffectiveParams(short bool) []int64 {
+	if short && k.ShortParams != nil {
+		return k.ShortParams
+	}
+	return k.Params
 }
 
 // SPECKernels returns the suite in report order.
 func SPECKernels() []SPECKernel {
 	return []SPECKernel{
 		{
-			Name:   "bzip2",
-			Params: []int64{1 << 13, 6},
-			Want:   -1, // computed by the golden test
+			Name:        "bzip2",
+			Params:      []int64{1 << 13, 6},
+			ShortParams: []int64{1 << 10, 2},
 			Src: `
 extern long input(int idx);
 extern void output(long v);
@@ -65,8 +77,9 @@ int main() {
 `,
 		},
 		{
-			Name:   "mcf",
-			Params: []int64{1 << 11, 24},
+			Name:        "mcf",
+			Params:      []int64{1 << 11, 24},
+			ShortParams: []int64{1 << 9, 6},
 			Src: `
 extern long input(int idx);
 extern void output(long v);
@@ -117,8 +130,9 @@ int main() {
 `,
 		},
 		{
-			Name:   "gobmk",
-			Params: []int64{19, 420},
+			Name:        "gobmk",
+			Params:      []int64{19, 420},
+			ShortParams: []int64{9, 60},
 			Src: `
 extern long input(int idx);
 extern void output(long v);
@@ -171,8 +185,9 @@ int main() {
 `,
 		},
 		{
-			Name:   "hmmer",
-			Params: []int64{160, 360},
+			Name:        "hmmer",
+			Params:      []int64{160, 360},
+			ShortParams: []int64{64, 60},
 			Src: `
 extern long input(int idx);
 extern void output(long v);
@@ -214,8 +229,9 @@ int main() {
 `,
 		},
 		{
-			Name:   "sjeng",
-			Params: []int64{5, 130},
+			Name:        "sjeng",
+			Params:      []int64{5, 130},
+			ShortParams: []int64{4, 24},
 			Src: `
 extern long input(int idx);
 extern void output(long v);
@@ -260,8 +276,9 @@ int main() {
 `,
 		},
 		{
-			Name:   "libquantum",
-			Params: []int64{1 << 12, 40},
+			Name:        "libquantum",
+			Params:      []int64{1 << 12, 40},
+			ShortParams: []int64{1 << 10, 10},
 			Src: `
 extern long input(int idx);
 extern void output(long v);
@@ -302,8 +319,9 @@ int main() {
 `,
 		},
 		{
-			Name:   "h264",
-			Params: []int64{96, 40},
+			Name:        "h264",
+			Params:      []int64{96, 40},
+			ShortParams: []int64{32, 6},
 			Src: `
 extern long input(int idx);
 extern void output(long v);
@@ -373,8 +391,9 @@ int main() {
 `,
 		},
 		{
-			Name:   "milc",
-			Params: []int64{40, 24},
+			Name:        "milc",
+			Params:      []int64{40, 24},
+			ShortParams: []int64{16, 6},
 			Src: `
 extern long input(int idx);
 extern void output(long v);

@@ -12,6 +12,7 @@ import (
 func TestSPECKernelsCrossVariant(t *testing.T) {
 	for _, k := range SPECKernels() {
 		k := k
+		k.Params = k.EffectiveParams(testing.Short())
 		t.Run(k.Name, func(t *testing.T) {
 			var golden []int64
 			for _, v := range confllvm.AllVariants() {

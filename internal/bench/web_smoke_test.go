@@ -7,12 +7,16 @@ import (
 )
 
 func TestWebSmoke(t *testing.T) {
+	reqs, size := 5, 2048
+	if testing.Short() {
+		reqs, size = 3, 512
+	}
 	for _, v := range confllvm.AllVariants() {
-		m, err := RunWebServer(v, 5, 2048)
+		m, err := RunWebServer(v, reqs, size)
 		if err != nil {
 			t.Fatalf("[%v] %v", v, err)
 		}
-		if len(m.Res.NetOut) != 5 {
+		if len(m.Res.NetOut) != reqs {
 			t.Fatalf("[%v] %d responses", v, len(m.Res.NetOut))
 		}
 	}

@@ -132,7 +132,7 @@ func RunWebServer(v confllvm.Variant, nReqs, fileSize int) (*Measurement, error)
 	if err != nil {
 		return nil, err
 	}
-	res, err := confllvm.Run(art, WebWorld(nReqs, fileSize), nil)
+	res, hostNS, err := timedRun(art, WebWorld(nReqs, fileSize), nil)
 	if err != nil {
 		return nil, err
 	}
@@ -143,5 +143,5 @@ func RunWebServer(v confllvm.Variant, nReqs, fileSize int) (*Measurement, error)
 		return nil, fmt.Errorf("webserver [%v]: served %v of %d requests", v, res.Outputs, nReqs)
 	}
 	return &Measurement{Variant: v, Wall: res.WallCycles, Stats: res.Stats,
-		Outputs: res.Outputs, Res: res}, nil
+		Outputs: res.Outputs, Res: res, HostNS: hostNS}, nil
 }

@@ -76,6 +76,12 @@ func Load(img *link.Image, handlers map[string]machine.Handler, mconf machine.Co
 			return nil, f
 		}
 	}
+	// Register the code region for decode tracing now that every image
+	// byte is in place (unchecked writes flush existing traces, so this
+	// must come last). Decode itself stays lazy, per PC.
+	if f := m.RegisterCode(l.CodeBase); f != nil {
+		return nil, f
+	}
 	return m, nil
 }
 

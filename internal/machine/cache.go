@@ -41,30 +41,33 @@ func newCache() *cache {
 
 var lruClock uint64
 
-// access touches addr and reports whether it hit.
+// access touches addr and reports whether it hit. The hit scan and the
+// LRU victim scan share one pass; the replacement policy (first invalid
+// way by index, else the least-recently-used way) is unchanged, so miss
+// counts — and therefore simulated cycles — are identical.
 func (c *cache) access(addr uint64) bool {
 	lruClock++
 	line := addr >> c.lineBits
 	set := c.sets[line&c.setMask]
 	tag := line >> 5 // bits above the set index
+	victim, invalid := 0, -1
 	for i := range set {
-		if set[i].valid && set[i].tag == tag {
-			set[i].lru = lruClock
-			c.hits++
-			return true
+		if set[i].valid {
+			if set[i].tag == tag {
+				set[i].lru = lruClock
+				c.hits++
+				return true
+			}
+			if set[i].lru < set[victim].lru {
+				victim = i
+			}
+		} else if invalid < 0 {
+			invalid = i
 		}
 	}
 	c.misses++
-	// Evict LRU.
-	victim := 0
-	for i := 1; i < len(set); i++ {
-		if !set[i].valid {
-			victim = i
-			break
-		}
-		if set[i].lru < set[victim].lru {
-			victim = i
-		}
+	if invalid >= 0 {
+		victim = invalid
 	}
 	set[victim] = cacheLine{tag: tag, valid: true, lru: lruClock}
 	return false

@@ -108,16 +108,16 @@ type Machine struct {
 
 	fuel uint64
 
-	// icache memoizes decoded instructions by pc. Code regions are
-	// immutable after loading (no W permission), so entries never go
-	// stale; Memory.WriteBytesUnchecked flushes it anyway for tests that
-	// patch code.
-	icache map[uint64]cachedInst
-}
+	// traces holds one decoded-trace cache per executable region (see
+	// trace.go); lastTrace memoizes the region the PC last executed in.
+	traces    []*codeTrace
+	lastTrace *codeTrace
 
-type cachedInst struct {
-	inst asm.Inst
-	size int
+	// Handler address range, recomputed whenever len(Handlers) changes:
+	// Step only probes the Handlers map when the PC falls inside
+	// [hndLo, hndHi]. Empty map: hndLo > hndHi, so the test never passes.
+	hndLo, hndHi uint64
+	nHandlers    int
 }
 
 // New creates a machine with the given configuration.
@@ -129,12 +129,31 @@ func New(conf Config) *Machine {
 		Mem:      NewMemory(),
 		Handlers: make(map[uint64]Handler),
 		Conf:     conf,
-		icache:   make(map[uint64]cachedInst),
+		hndLo:    ^uint64(0),
 	}
-	m.Mem.onUncheckedWrite = func() {
-		m.icache = make(map[uint64]cachedInst)
-	}
+	m.Mem.onUncheckedWrite = m.flushTraces
 	return m
+}
+
+// RefreshHandlers re-indexes the Handlers map. Adding or removing a
+// handler is detected automatically (the map's size changes), and Run
+// re-indexes on entry; call this only when replacing same-count handler
+// sets at new addresses between direct Step calls.
+func (m *Machine) RefreshHandlers() { m.rebuildHandlerIndex() }
+
+// rebuildHandlerIndex recomputes the [hndLo, hndHi] PC range covering all
+// registered trusted handlers.
+func (m *Machine) rebuildHandlerIndex() {
+	m.nHandlers = len(m.Handlers)
+	m.hndLo, m.hndHi = ^uint64(0), 0
+	for a := range m.Handlers {
+		if a < m.hndLo {
+			m.hndLo = a
+		}
+		if a > m.hndHi {
+			m.hndHi = a
+		}
+	}
 }
 
 // NewThread creates a thread starting at pc with the given stack pointer
@@ -179,7 +198,13 @@ func (t *Thread) Pop() (uint64, *Fault) {
 // EA computes the effective address of a memory operand for this thread,
 // applying segment bases and the 32-bit operand constraint of the
 // segmentation scheme.
-func (t *Thread) EA(m asm.Mem) uint64 {
+func (t *Thread) EA(m asm.Mem) uint64 { return t.ea(&m, true) }
+
+// ea is the pointer form of EA used by the dispatch loop: it avoids
+// copying the operand out of the decode trace. useSeg=false computes the
+// raw address without the segment base (lea and the bndcl/bndcu memory
+// forms, as on x64).
+func (t *Thread) ea(m *asm.Mem, useSeg bool) uint64 {
 	var base, index uint64
 	if m.Base != asm.NoReg {
 		base = t.Regs[m.Base]
@@ -196,11 +221,13 @@ func (t *Thread) EA(m asm.Mem) uint64 {
 		scale = 1
 	}
 	ea := base + index*scale + uint64(int64(m.Disp))
-	switch m.Seg {
-	case asm.SegFS:
-		ea += t.FS
-	case asm.SegGS:
-		ea += t.GS
+	if useSeg {
+		switch m.Seg {
+		case asm.SegFS:
+			ea += t.FS
+		case asm.SegGS:
+			ea += t.GS
+		}
 	}
 	return ea
 }
@@ -284,9 +311,6 @@ func extend(v uint64, size uint8, signed bool) uint64 {
 	return v
 }
 
-// maxInstLen is an upper bound on any encoded instruction length.
-const maxInstLen = 16
-
 // Step executes one instruction (or one trusted handler) on thread t.
 // It returns a fault if the thread faulted.
 func (t *Thread) Step() *Fault {
@@ -294,75 +318,60 @@ func (t *Thread) Step() *Fault {
 	if t.Halted {
 		return t.Fault
 	}
-	if h, ok := m.Handlers[t.PC]; ok {
-		t.Stats.TrustedCall++
-		if f := h(m, t); f != nil {
-			return t.fault(f)
+	// Trusted-handler dispatch, hoisted behind a cheap PC-range test: the
+	// map is only probed when the PC falls inside the handler address
+	// range (handlers live in the T region, far from any U code).
+	if len(m.Handlers) != m.nHandlers {
+		m.rebuildHandlerIndex()
+	}
+	if t.PC >= m.hndLo && t.PC <= m.hndHi {
+		if h, ok := m.Handlers[t.PC]; ok {
+			t.Stats.TrustedCall++
+			if f := h(m, t); f != nil {
+				return t.fault(f)
+			}
+			return nil
 		}
-		return nil
 	}
 
-	// Fetch (with decode cache: code regions are immutable once loaded).
-	var inst asm.Inst
-	var ilen int
-	if d, ok := m.icache[t.PC]; ok {
-		inst, ilen = d.inst, d.size
-	} else {
-		r := m.Mem.Find(t.PC)
-		if r == nil {
-			return t.fault(&Fault{Kind: FaultUnmapped, Addr: t.PC, Msg: "fetch from guard space"})
-		}
-		if r.Perm&PermX == 0 {
-			return t.fault(&Fault{Kind: FaultNX, Addr: t.PC, Msg: "fetch from " + r.Name})
-		}
-		var buf [maxInstLen]byte
-		n := maxInstLen
-		if rem := r.End() - t.PC; rem < maxInstLen {
-			n = int(rem)
-		}
-		m.Mem.copyOut(t.PC, buf[:n])
-		var err error
-		inst, ilen, err = asm.Decode(buf[:n], 0)
-		if err != nil {
-			return t.fault(&Fault{Kind: FaultDecode, Addr: t.PC, Msg: err.Error()})
-		}
-		m.icache[t.PC] = cachedInst{inst, ilen}
+	// Fetch from the per-region decoded-trace cache: one bounds check and
+	// a pointer dereference on the hot path (see trace.go).
+	ip, ilen, ff := m.fetch(t.PC)
+	if ff != nil {
+		return t.fault(ff)
 	}
 
 	t.Stats.Instrs++
 	nextPC := t.PC + uint64(ilen)
 	cost := uint64(1)
 
-	switch inst.Op {
+	switch ip.Op {
 	case asm.OpNop:
 	case asm.OpMovRR:
-		t.Regs[inst.Dst] = t.Regs[inst.Src]
+		t.Regs[ip.Dst] = t.Regs[ip.Src]
 	case asm.OpMovRI:
-		t.Regs[inst.Dst] = uint64(inst.Imm)
+		t.Regs[ip.Dst] = uint64(ip.Imm)
 	case asm.OpLea:
 		// lea computes the raw address without the segment base (as x64).
-		seg := inst.M.Seg
-		inst.M.Seg = asm.SegNone
-		t.Regs[inst.Dst] = t.EA(inst.M)
-		inst.M.Seg = seg
+		t.Regs[ip.Dst] = t.ea(&ip.M, false)
 	case asm.OpLoad:
-		addr := t.EA(inst.M)
-		v, f := m.Mem.Read(addr, inst.M.Size)
+		addr := t.ea(&ip.M, true)
+		v, f := m.Mem.Read(addr, ip.M.Size)
 		if f != nil {
 			return t.fault(f)
 		}
-		t.Regs[inst.Dst] = extend(v, inst.M.Size, inst.M.Signed)
+		t.Regs[ip.Dst] = extend(v, ip.M.Size, ip.M.Signed)
 		t.Stats.Loads++
 		cost += t.memCost(addr)
 	case asm.OpStore:
-		addr := t.EA(inst.M)
-		if f := m.Mem.Write(addr, inst.M.Size, t.Regs[inst.Src]); f != nil {
+		addr := t.ea(&ip.M, true)
+		if f := m.Mem.Write(addr, ip.M.Size, t.Regs[ip.Src]); f != nil {
 			return t.fault(f)
 		}
 		t.Stats.Stores++
 		cost += t.memCost(addr)
 	case asm.OpPush:
-		if f := t.Push(t.Regs[inst.Src]); f != nil {
+		if f := t.Push(t.Regs[ip.Src]); f != nil {
 			return t.fault(f)
 		}
 		t.Stats.Stores++
@@ -372,111 +381,111 @@ func (t *Thread) Step() *Fault {
 		if f != nil {
 			return t.fault(f)
 		}
-		t.Regs[inst.Dst] = v
+		t.Regs[ip.Dst] = v
 		t.Stats.Loads++
 		cost += t.memCost(t.Regs[asm.RSP] - 8)
 
 	case asm.OpAddRR:
-		t.Regs[inst.Dst] += t.Regs[inst.Src]
+		t.Regs[ip.Dst] += t.Regs[ip.Src]
 	case asm.OpAddRI:
-		t.Regs[inst.Dst] += uint64(inst.Imm)
+		t.Regs[ip.Dst] += uint64(ip.Imm)
 	case asm.OpSubRR:
-		t.Regs[inst.Dst] -= t.Regs[inst.Src]
+		t.Regs[ip.Dst] -= t.Regs[ip.Src]
 	case asm.OpSubRI:
-		t.Regs[inst.Dst] -= uint64(inst.Imm)
+		t.Regs[ip.Dst] -= uint64(ip.Imm)
 	case asm.OpMulRR:
-		t.Regs[inst.Dst] = uint64(int64(t.Regs[inst.Dst]) * int64(t.Regs[inst.Src]))
+		t.Regs[ip.Dst] = uint64(int64(t.Regs[ip.Dst]) * int64(t.Regs[ip.Src]))
 		cost = 3
 	case asm.OpMulRI:
-		t.Regs[inst.Dst] = uint64(int64(t.Regs[inst.Dst]) * inst.Imm)
+		t.Regs[ip.Dst] = uint64(int64(t.Regs[ip.Dst]) * ip.Imm)
 		cost = 3
 	case asm.OpDivRR:
-		d := int64(t.Regs[inst.Src])
+		d := int64(t.Regs[ip.Src])
 		if d == 0 {
 			return t.fault(&Fault{Kind: FaultDivide})
 		}
-		t.Regs[inst.Dst] = uint64(int64(t.Regs[inst.Dst]) / d)
+		t.Regs[ip.Dst] = uint64(int64(t.Regs[ip.Dst]) / d)
 		cost = 20
 	case asm.OpModRR:
-		d := int64(t.Regs[inst.Src])
+		d := int64(t.Regs[ip.Src])
 		if d == 0 {
 			return t.fault(&Fault{Kind: FaultDivide})
 		}
-		t.Regs[inst.Dst] = uint64(int64(t.Regs[inst.Dst]) % d)
+		t.Regs[ip.Dst] = uint64(int64(t.Regs[ip.Dst]) % d)
 		cost = 20
 	case asm.OpAndRR:
-		t.Regs[inst.Dst] &= t.Regs[inst.Src]
+		t.Regs[ip.Dst] &= t.Regs[ip.Src]
 	case asm.OpAndRI:
-		t.Regs[inst.Dst] &= uint64(inst.Imm)
+		t.Regs[ip.Dst] &= uint64(ip.Imm)
 	case asm.OpOrRR:
-		t.Regs[inst.Dst] |= t.Regs[inst.Src]
+		t.Regs[ip.Dst] |= t.Regs[ip.Src]
 	case asm.OpOrRI:
-		t.Regs[inst.Dst] |= uint64(inst.Imm)
+		t.Regs[ip.Dst] |= uint64(ip.Imm)
 	case asm.OpXorRR:
-		t.Regs[inst.Dst] ^= t.Regs[inst.Src]
+		t.Regs[ip.Dst] ^= t.Regs[ip.Src]
 	case asm.OpXorRI:
-		t.Regs[inst.Dst] ^= uint64(inst.Imm)
+		t.Regs[ip.Dst] ^= uint64(ip.Imm)
 	case asm.OpShlRR:
-		t.Regs[inst.Dst] <<= t.Regs[inst.Src] & 63
+		t.Regs[ip.Dst] <<= t.Regs[ip.Src] & 63
 	case asm.OpShlRI:
-		t.Regs[inst.Dst] <<= uint64(inst.Imm) & 63
+		t.Regs[ip.Dst] <<= uint64(ip.Imm) & 63
 	case asm.OpShrRR:
-		t.Regs[inst.Dst] >>= t.Regs[inst.Src] & 63
+		t.Regs[ip.Dst] >>= t.Regs[ip.Src] & 63
 	case asm.OpShrRI:
-		t.Regs[inst.Dst] >>= uint64(inst.Imm) & 63
+		t.Regs[ip.Dst] >>= uint64(ip.Imm) & 63
 	case asm.OpSarRR:
-		t.Regs[inst.Dst] = uint64(int64(t.Regs[inst.Dst]) >> (t.Regs[inst.Src] & 63))
+		t.Regs[ip.Dst] = uint64(int64(t.Regs[ip.Dst]) >> (t.Regs[ip.Src] & 63))
 	case asm.OpSarRI:
-		t.Regs[inst.Dst] = uint64(int64(t.Regs[inst.Dst]) >> (uint64(inst.Imm) & 63))
+		t.Regs[ip.Dst] = uint64(int64(t.Regs[ip.Dst]) >> (uint64(ip.Imm) & 63))
 	case asm.OpNeg:
-		t.Regs[inst.Dst] = -t.Regs[inst.Dst]
+		t.Regs[ip.Dst] = -t.Regs[ip.Dst]
 	case asm.OpNot:
-		t.Regs[inst.Dst] = ^t.Regs[inst.Dst]
+		t.Regs[ip.Dst] = ^t.Regs[ip.Dst]
 
 	case asm.OpCmpRR:
-		t.setCmpFlags(t.Regs[inst.Dst], t.Regs[inst.Src])
+		t.setCmpFlags(t.Regs[ip.Dst], t.Regs[ip.Src])
 	case asm.OpCmpRI:
-		t.setCmpFlags(t.Regs[inst.Dst], uint64(inst.Imm))
+		t.setCmpFlags(t.Regs[ip.Dst], uint64(ip.Imm))
 	case asm.OpCmpMR:
-		addr := t.EA(inst.M)
+		addr := t.ea(&ip.M, true)
 		v, f := m.Mem.Read(addr, 8)
 		if f != nil {
 			return t.fault(f)
 		}
-		t.setCmpFlags(v, t.Regs[inst.Src])
+		t.setCmpFlags(v, t.Regs[ip.Src])
 		t.Stats.Loads++
 		cost += t.memCost(addr)
 	case asm.OpTestRR:
-		t.setTestFlags(t.Regs[inst.Dst] & t.Regs[inst.Src])
+		t.setTestFlags(t.Regs[ip.Dst] & t.Regs[ip.Src])
 	case asm.OpTestRI:
-		t.setTestFlags(t.Regs[inst.Dst] & uint64(inst.Imm))
+		t.setTestFlags(t.Regs[ip.Dst] & uint64(ip.Imm))
 	case asm.OpSetCC:
-		if t.condTrue(inst.Cond) {
-			t.Regs[inst.Dst] = 1
+		if t.condTrue(ip.Cond) {
+			t.Regs[ip.Dst] = 1
 		} else {
-			t.Regs[inst.Dst] = 0
+			t.Regs[ip.Dst] = 0
 		}
 
 	case asm.OpJmp:
-		nextPC = uint64(inst.Imm)
+		nextPC = uint64(ip.Imm)
 	case asm.OpJcc:
-		if t.condTrue(inst.Cond) {
-			nextPC = uint64(inst.Imm)
+		if t.condTrue(ip.Cond) {
+			nextPC = uint64(ip.Imm)
 		}
 	case asm.OpJmpR:
-		nextPC = t.Regs[inst.Src]
+		nextPC = t.Regs[ip.Src]
 	case asm.OpCall:
 		if f := t.Push(nextPC); f != nil {
 			return t.fault(f)
 		}
 		cost = 2 + t.memCost(t.Regs[asm.RSP])
-		nextPC = uint64(inst.Imm)
+		nextPC = uint64(ip.Imm)
 	case asm.OpICall:
 		if f := t.Push(nextPC); f != nil {
 			return t.fault(f)
 		}
 		cost = 2 + t.memCost(t.Regs[asm.RSP])
-		nextPC = t.Regs[inst.Src]
+		nextPC = t.Regs[ip.Src]
 	case asm.OpRet:
 		v, f := t.Pop()
 		if f != nil {
@@ -500,26 +509,24 @@ func (t *Thread) Step() *Fault {
 			cost = 0
 		}
 		var addr uint64
-		switch inst.Op {
+		switch ip.Op {
 		case asm.OpBndCLMem, asm.OpBndCUMem:
-			seg := inst.M.Seg
-			inst.M.Seg = asm.SegNone
-			addr = t.EA(inst.M)
-			inst.M.Seg = seg
+			// As with lea, the check is on the raw address (no segment).
+			addr = t.ea(&ip.M, false)
 		default:
-			addr = t.Regs[inst.Src]
+			addr = t.Regs[ip.Src]
 		}
-		b := t.Bnd[inst.Bnd]
-		switch inst.Op {
+		b := t.Bnd[ip.Bnd]
+		switch ip.Op {
 		case asm.OpBndCLMem, asm.OpBndCLReg:
 			if addr < b.Lo {
 				return t.fault(&Fault{Kind: FaultBounds, Addr: addr,
-					Msg: fmt.Sprintf("below %s.lower=%#x", inst.Bnd, b.Lo)})
+					Msg: fmt.Sprintf("below %s.lower=%#x", ip.Bnd, b.Lo)})
 			}
 		default:
 			if addr > b.Hi {
 				return t.fault(&Fault{Kind: FaultBounds, Addr: addr,
-					Msg: fmt.Sprintf("above %s.upper=%#x", inst.Bnd, b.Hi)})
+					Msg: fmt.Sprintf("above %s.upper=%#x", ip.Bnd, b.Hi)})
 			}
 		}
 
@@ -531,47 +538,47 @@ func (t *Thread) Step() *Fault {
 		}
 
 	case asm.OpFLoad:
-		addr := t.EA(inst.M)
+		addr := t.ea(&ip.M, true)
 		v, f := m.Mem.Read(addr, 8)
 		if f != nil {
 			return t.fault(f)
 		}
-		t.FRegs[inst.FDst] = math.Float64frombits(v)
+		t.FRegs[ip.FDst] = math.Float64frombits(v)
 		t.Stats.Loads++
 		cost += t.memCost(addr)
 		t.grantFPCredit()
 	case asm.OpFStore:
-		addr := t.EA(inst.M)
-		if f := m.Mem.Write(addr, 8, math.Float64bits(t.FRegs[inst.FSrc])); f != nil {
+		addr := t.ea(&ip.M, true)
+		if f := m.Mem.Write(addr, 8, math.Float64bits(t.FRegs[ip.FSrc])); f != nil {
 			return t.fault(f)
 		}
 		t.Stats.Stores++
 		cost += t.memCost(addr)
 		t.grantFPCredit()
 	case asm.OpFMovRR:
-		t.FRegs[inst.FDst] = t.FRegs[inst.FSrc]
+		t.FRegs[ip.FDst] = t.FRegs[ip.FSrc]
 	case asm.OpFMovI:
-		t.FRegs[inst.FDst] = math.Float64frombits(uint64(inst.Imm))
+		t.FRegs[ip.FDst] = math.Float64frombits(uint64(ip.Imm))
 	case asm.OpFAdd:
-		t.FRegs[inst.FDst] += t.FRegs[inst.FSrc]
+		t.FRegs[ip.FDst] += t.FRegs[ip.FSrc]
 		t.grantFPCredit()
 	case asm.OpFSub:
-		t.FRegs[inst.FDst] -= t.FRegs[inst.FSrc]
+		t.FRegs[ip.FDst] -= t.FRegs[ip.FSrc]
 		t.grantFPCredit()
 	case asm.OpFMul:
-		t.FRegs[inst.FDst] *= t.FRegs[inst.FSrc]
+		t.FRegs[ip.FDst] *= t.FRegs[ip.FSrc]
 		t.grantFPCredit()
 	case asm.OpFDiv:
-		t.FRegs[inst.FDst] /= t.FRegs[inst.FSrc]
+		t.FRegs[ip.FDst] /= t.FRegs[ip.FSrc]
 		cost = 12
 		t.grantFPCredit()
 	case asm.OpFMax:
-		if t.FRegs[inst.FSrc] > t.FRegs[inst.FDst] {
-			t.FRegs[inst.FDst] = t.FRegs[inst.FSrc]
+		if t.FRegs[ip.FSrc] > t.FRegs[ip.FDst] {
+			t.FRegs[ip.FDst] = t.FRegs[ip.FSrc]
 		}
 		t.grantFPCredit()
 	case asm.OpFCmp:
-		a, b := t.FRegs[inst.FDst], t.FRegs[inst.FSrc]
+		a, b := t.FRegs[ip.FDst], t.FRegs[ip.FSrc]
 		if math.IsNaN(a) || math.IsNaN(b) {
 			t.ZF, t.CF = true, true // x64 unordered result
 		} else {
@@ -581,25 +588,25 @@ func (t *Thread) Step() *Fault {
 		t.SF, t.OF = false, false
 		t.grantFPCredit()
 	case asm.OpCvtIF:
-		t.FRegs[inst.FDst] = float64(int64(t.Regs[inst.Src]))
+		t.FRegs[ip.FDst] = float64(int64(t.Regs[ip.Src]))
 		cost = 2
 	case asm.OpCvtFI:
-		t.Regs[inst.Dst] = uint64(int64(t.FRegs[inst.FSrc]))
+		t.Regs[ip.Dst] = uint64(int64(t.FRegs[ip.FSrc]))
 		cost = 2
 	case asm.OpMovQIF:
-		t.FRegs[inst.FDst] = math.Float64frombits(t.Regs[inst.Src])
+		t.FRegs[ip.FDst] = math.Float64frombits(t.Regs[ip.Src])
 	case asm.OpMovQFI:
-		t.Regs[inst.Dst] = math.Float64bits(t.FRegs[inst.FSrc])
+		t.Regs[ip.Dst] = math.Float64bits(t.FRegs[ip.FSrc])
 
 	case asm.OpWrFS:
-		t.FS = t.Regs[inst.Src]
+		t.FS = t.Regs[ip.Src]
 	case asm.OpWrGS:
-		t.GS = t.Regs[inst.Src]
+		t.GS = t.Regs[ip.Src]
 	case asm.OpSyscall:
 		return t.fault(&Fault{Kind: FaultPerm, Msg: "syscall from untrusted code"})
 
 	default:
-		return t.fault(&Fault{Kind: FaultDecode, Msg: "unimplemented opcode " + inst.Op.String()})
+		return t.fault(&Fault{Kind: FaultDecode, Msg: "unimplemented opcode " + ip.Op.String()})
 	}
 
 	t.Stats.Cycles += cost
@@ -616,6 +623,7 @@ func (t *Thread) grantFPCredit() {
 // Run executes all live threads round-robin until every thread halts (or
 // one faults). It returns the first fault encountered, if any.
 func (m *Machine) Run() *Fault {
+	m.rebuildHandlerIndex()
 	m.fuel = m.Conf.DefaultFuel
 	const quantum = 1024
 	for {

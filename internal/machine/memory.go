@@ -55,12 +55,35 @@ func (r *Region) End() uint64 { return r.Lo + r.Size }
 const pageShift = 12
 const pageSize = 1 << pageShift
 
+// tlbBits sizes the direct-mapped page-lookup cache. 64 entries cover the
+// working set of code + both stacks + a few heap pages with no search.
+const (
+	tlbBits = 6
+	tlbSize = 1 << tlbBits
+	tlbMask = tlbSize - 1
+)
+
+// tlbEntry caches one fully-validated page: the page is allocated, and a
+// single region both contains it entirely and grants perm. Any access that
+// stays inside the page needs only the perm test — no binary search, no
+// boundary checks. An entry is valid iff page != nil.
+type tlbEntry struct {
+	pn   uint64
+	page *[pageSize]byte
+	perm Perm
+}
+
 // Memory is a sparse paged physical memory with region-based permissions.
 // Pages are allocated lazily on first touch, so multi-gigabyte layouts
 // (the paper's 4 GB-aligned segments with 36 GB guard areas) cost nothing.
 type Memory struct {
 	regions []*Region // sorted by Lo
 	pages   map[uint64]*[pageSize]byte
+
+	// tlb short-circuits Read/Write for pages wholly inside one region.
+	// Only positive lookups are cached, and mapped regions are never
+	// removed or re-permissioned, so entries never go stale.
+	tlb [tlbSize]tlbEntry
 
 	// lastRegion and lastPage memoize the most recent lookups (execution
 	// is single-goroutine; accesses are highly local).
@@ -123,29 +146,64 @@ func (mem *Memory) page(addr uint64) *[pageSize]byte {
 }
 
 // check validates an access of size bytes at addr with permission need.
-// A single access may not straddle a region boundary.
-func (mem *Memory) check(addr uint64, size uint64, need Perm) *Fault {
+// A single access may not straddle a region boundary. On success it
+// returns the containing region so callers can warm the TLB. Faults (and
+// their messages) are built only on the failure path.
+func (mem *Memory) check(addr uint64, size uint64, need Perm) (*Region, *Fault) {
 	r := mem.Find(addr)
 	if r == nil {
-		return &Fault{Kind: FaultUnmapped, Addr: addr}
+		return nil, &Fault{Kind: FaultUnmapped, Addr: addr}
 	}
 	if addr+size-1 > r.End()-1 { // careful with wraparound
-		return &Fault{Kind: FaultUnmapped, Addr: addr + size - 1}
+		return nil, &Fault{Kind: FaultUnmapped, Addr: addr + size - 1}
 	}
 	if r.Perm&need != need {
-		return &Fault{Kind: FaultPerm, Addr: addr, Msg: fmt.Sprintf("need %s in %s (%s)", need, r.Name, r.Perm)}
+		return nil, &Fault{Kind: FaultPerm, Addr: addr, Msg: fmt.Sprintf("need %s in %s (%s)", need, r.Name, r.Perm)}
 	}
-	return nil
+	return r, nil
+}
+
+// fillTLB caches the page containing addr if region r wholly covers it
+// (a partially-covered page must keep taking the slow path, because an
+// access inside the page could still escape the region).
+func (mem *Memory) fillTLB(addr uint64, r *Region) {
+	pn := addr >> pageShift
+	lo := pn << pageShift
+	if lo < r.Lo || r.End()-lo < pageSize {
+		return
+	}
+	mem.tlb[pn&tlbMask] = tlbEntry{pn: pn, page: mem.page(addr), perm: r.Perm}
 }
 
 // Read reads size (1/2/4/8) bytes at addr, zero-extended.
 func (mem *Memory) Read(addr uint64, size uint8) (uint64, *Fault) {
-	if f := mem.check(addr, uint64(size), PermR); f != nil {
+	off := addr & (pageSize - 1)
+	if e := &mem.tlb[(addr>>pageShift)&tlbMask]; e.page != nil && e.pn == addr>>pageShift &&
+		e.perm&PermR != 0 && off+uint64(size) <= pageSize {
+		p := e.page
+		switch size {
+		case 8:
+			return binary.LittleEndian.Uint64(p[off : off+8]), nil
+		case 4:
+			return uint64(binary.LittleEndian.Uint32(p[off : off+4])), nil
+		case 2:
+			return uint64(binary.LittleEndian.Uint16(p[off : off+2])), nil
+		case 1:
+			return uint64(p[off]), nil
+		}
+	}
+	return mem.readSlow(addr, size)
+}
+
+func (mem *Memory) readSlow(addr uint64, size uint8) (uint64, *Fault) {
+	r, f := mem.check(addr, uint64(size), PermR)
+	if f != nil {
 		return 0, f
 	}
+	mem.fillTLB(addr, r)
 	off := addr & (pageSize - 1)
 	if off+uint64(size) <= pageSize {
-		// Fast path: the access stays within one page.
+		// The access stays within one page.
 		p := mem.page(addr)
 		var v uint64
 		for i := int(size) - 1; i >= 0; i-- {
@@ -160,9 +218,34 @@ func (mem *Memory) Read(addr uint64, size uint8) (uint64, *Fault) {
 
 // Write writes the low size bytes of val at addr.
 func (mem *Memory) Write(addr uint64, size uint8, val uint64) *Fault {
-	if f := mem.check(addr, uint64(size), PermW); f != nil {
+	off := addr & (pageSize - 1)
+	if e := &mem.tlb[(addr>>pageShift)&tlbMask]; e.page != nil && e.pn == addr>>pageShift &&
+		e.perm&PermW != 0 && off+uint64(size) <= pageSize {
+		p := e.page
+		switch size {
+		case 8:
+			binary.LittleEndian.PutUint64(p[off:off+8], val)
+			return nil
+		case 4:
+			binary.LittleEndian.PutUint32(p[off:off+4], uint32(val))
+			return nil
+		case 2:
+			binary.LittleEndian.PutUint16(p[off:off+2], uint16(val))
+			return nil
+		case 1:
+			p[off] = byte(val)
+			return nil
+		}
+	}
+	return mem.writeSlow(addr, size, val)
+}
+
+func (mem *Memory) writeSlow(addr uint64, size uint8, val uint64) *Fault {
+	r, f := mem.check(addr, uint64(size), PermW)
+	if f != nil {
 		return f
 	}
+	mem.fillTLB(addr, r)
 	off := addr & (pageSize - 1)
 	if off+uint64(size) <= pageSize {
 		p := mem.page(addr)
@@ -184,7 +267,7 @@ func (mem *Memory) ReadBytes(addr uint64, dst []byte) *Fault {
 	if len(dst) == 0 {
 		return nil
 	}
-	if f := mem.check(addr, uint64(len(dst)), PermR); f != nil {
+	if _, f := mem.check(addr, uint64(len(dst)), PermR); f != nil {
 		return f
 	}
 	mem.copyOut(addr, dst)
@@ -196,7 +279,7 @@ func (mem *Memory) WriteBytes(addr uint64, src []byte) *Fault {
 	if len(src) == 0 {
 		return nil
 	}
-	if f := mem.check(addr, uint64(len(src)), PermW); f != nil {
+	if _, f := mem.check(addr, uint64(len(src)), PermW); f != nil {
 		return f
 	}
 	mem.copyIn(addr, src)

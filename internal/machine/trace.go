@@ -1,0 +1,103 @@
+package machine
+
+import (
+	"confllvm/internal/asm"
+)
+
+// codeTrace is the decoded-trace cache for one executable region: a dense
+// array of decoded instructions indexed by PC offset, so the fetch path is
+// one bounds check and a pointer dereference instead of a map probe.
+//
+// Instructions are decoded lazily, one PC at a time, on first execution:
+// the instruction stream is variable-length and interleaves data (magic
+// sequences), so linear pre-decode from the region base would misalign.
+// A slot in the middle of another instruction's encoding simply stays
+// undecoded unless control flow actually lands there — which mirrors the
+// hardware, where any byte offset is a potential instruction start.
+//
+// Code regions are immutable after loading (no W permission), so traces
+// never go stale; Memory.WriteBytesUnchecked flushes them anyway for tests
+// that patch code.
+type codeTrace struct {
+	lo   uint64
+	size uint64
+	code []byte // immutable snapshot of the region's bytes
+
+	// insts[off] is valid iff lens[off] != 0; lens[off] is the encoded
+	// length of the instruction starting at lo+off.
+	insts []asm.Inst
+	lens  []uint8
+}
+
+func newCodeTrace(mem *Memory, r *Region) *codeTrace {
+	tr := &codeTrace{
+		lo:    r.Lo,
+		size:  r.Size,
+		code:  make([]byte, r.Size),
+		insts: make([]asm.Inst, r.Size),
+		lens:  make([]uint8, r.Size),
+	}
+	mem.copyOut(r.Lo, tr.code)
+	return tr
+}
+
+// traceFor returns the decode trace covering pc, building one on first
+// entry into an executable region. Fetching from guard space or a
+// non-executable region faults.
+func (m *Machine) traceFor(pc uint64) (*codeTrace, *Fault) {
+	for _, tr := range m.traces {
+		if pc-tr.lo < tr.size {
+			return tr, nil
+		}
+	}
+	r := m.Mem.Find(pc)
+	if r == nil {
+		return nil, &Fault{Kind: FaultUnmapped, Addr: pc, Msg: "fetch from guard space"}
+	}
+	if r.Perm&PermX == 0 {
+		return nil, &Fault{Kind: FaultNX, Addr: pc, Msg: "fetch from " + r.Name}
+	}
+	tr := newCodeTrace(m.Mem, r)
+	m.traces = append(m.traces, tr)
+	return tr, nil
+}
+
+// fetch returns the decoded instruction at pc and its encoded length,
+// decoding it into the region's trace on first execution. The returned
+// pointer aliases the trace: callers must not mutate the instruction.
+func (m *Machine) fetch(pc uint64) (*asm.Inst, int, *Fault) {
+	tr := m.lastTrace
+	if tr == nil || pc-tr.lo >= tr.size {
+		var f *Fault
+		if tr, f = m.traceFor(pc); f != nil {
+			return nil, 0, f
+		}
+		m.lastTrace = tr
+	}
+	off := pc - tr.lo
+	n := int(tr.lens[off])
+	if n == 0 {
+		var err error
+		n, err = asm.DecodeInto(&tr.insts[off], tr.code, int(off))
+		if err != nil {
+			return nil, 0, &Fault{Kind: FaultDecode, Addr: pc, Msg: err.Error()}
+		}
+		tr.lens[off] = uint8(n)
+	}
+	return &tr.insts[off], n, nil
+}
+
+// RegisterCode eagerly builds the decode trace for the executable region
+// containing addr (instruction decode itself stays lazy). The loader calls
+// this once the image bytes are in place so the first fetch does not pay
+// the region snapshot.
+func (m *Machine) RegisterCode(addr uint64) *Fault {
+	_, f := m.traceFor(addr)
+	return f
+}
+
+// flushTraces drops every decode trace (used when code bytes are patched).
+func (m *Machine) flushTraces() {
+	m.traces = m.traces[:0]
+	m.lastTrace = nil
+}

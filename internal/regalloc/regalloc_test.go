@@ -1,0 +1,228 @@
+package regalloc
+
+import (
+	"testing"
+
+	"confllvm/internal/asm"
+	"confllvm/internal/ir"
+	"confllvm/internal/types"
+)
+
+var longTy = types.MakeInt(8, true, types.Public)
+
+func allocate(f *ir.Func, private map[ir.Value]bool) *Result {
+	return Allocate(f,
+		func(v ir.Value) bool { return private[v] },
+		func(v ir.Value) bool { return false })
+}
+
+// TestIntervalRegisterReuse checks interval construction through its
+// observable effect: values that are live simultaneously get distinct
+// registers, and a value whose interval has expired frees its register for
+// the next one.
+func TestIntervalRegisterReuse(t *testing.T) {
+	f := &ir.Func{Name: "t"}
+	blk := f.NewBlock()
+	v0 := f.NewValue(longTy)
+	v1 := f.NewValue(longTy)
+	v2 := f.NewValue(longTy)
+	v3 := f.NewValue(longTy)
+	blk.Insts = []*ir.Inst{
+		{Op: ir.OpConst, Res: v0, Imm: 1},
+		{Op: ir.OpConst, Res: v1, Imm: 2},
+		{Op: ir.OpAdd, Res: v2, Args: []ir.Value{v0, v1}}, // v0, v1 overlap
+		{Op: ir.OpAdd, Res: v3, Args: []ir.Value{v2, v2}}, // v0, v1 now dead
+		{Op: ir.OpRet, Res: ir.NoValue, Args: []ir.Value{v3}},
+	}
+	res := allocate(f, nil)
+
+	for _, v := range []ir.Value{v0, v1, v2, v3} {
+		if res.Locs[v].Kind != LocReg {
+			t.Fatalf("v%d not in a register: %+v", v, res.Locs[v])
+		}
+	}
+	if res.Locs[v0].Reg == res.Locs[v1].Reg {
+		t.Errorf("v0 and v1 are live simultaneously but share %v", res.Locs[v0].Reg)
+	}
+	if res.Locs[v1].Reg == res.Locs[v2].Reg {
+		t.Errorf("v1 and v2 overlap at the add but share %v", res.Locs[v1].Reg)
+	}
+	// v3 starts after v0's interval ends, so the allocator must have at
+	// least reused some register; with a 12-register pool and only two
+	// values live at once, nothing may spill.
+	if res.PubSlots != 0 || res.PrivSlots != 0 {
+		t.Errorf("unexpected spills: pub=%d priv=%d", res.PubSlots, res.PrivSlots)
+	}
+}
+
+// TestPrivateNeverCalleeSaved checks the core taint invariant: a private
+// value must never be assigned a callee-saved register, whatever the
+// register pressure (callees compiled elsewhere would spill it to the
+// public stack).
+func TestPrivateNeverCalleeSaved(t *testing.T) {
+	f := &ir.Func{Name: "t"}
+	blk := f.NewBlock()
+	private := map[ir.Value]bool{}
+	// 12 private values all live at once: more than the caller-saved pool,
+	// so the allocator is under pressure to cheat.
+	var vals []ir.Value
+	for i := 0; i < 12; i++ {
+		v := f.NewValue(longTy)
+		vals = append(vals, v)
+		private[v] = true
+		blk.Insts = append(blk.Insts, &ir.Inst{Op: ir.OpConst, Res: v, Imm: int64(i)})
+	}
+	sum := f.NewValue(longTy)
+	blk.Insts = append(blk.Insts, &ir.Inst{Op: ir.OpAdd, Res: sum, Args: vals})
+	blk.Insts = append(blk.Insts, &ir.Inst{Op: ir.OpRet, Res: ir.NoValue, Args: []ir.Value{sum}})
+
+	res := allocate(f, private)
+	for _, v := range vals {
+		loc := res.Locs[v]
+		switch loc.Kind {
+		case LocReg:
+			if asm.IsCalleeSaved(loc.Reg) {
+				t.Errorf("private v%d assigned callee-saved %v", v, loc.Reg)
+			}
+			if loc.Reg == ScratchA || loc.Reg == ScratchB {
+				t.Errorf("v%d assigned reserved scratch %v", v, loc.Reg)
+			}
+		case LocSlot:
+			if !loc.Private {
+				t.Errorf("private v%d spilled to a public slot", v)
+			}
+		default:
+			t.Errorf("v%d has no location", v)
+		}
+	}
+}
+
+// TestPrivateAcrossCallSpills checks that a private value live across a
+// call is never kept in any register at all: caller-saved registers die at
+// the call and callee-saved ones are forbidden, so it must live in a
+// private spill slot.
+func TestPrivateAcrossCallSpills(t *testing.T) {
+	f := &ir.Func{Name: "t"}
+	blk := f.NewBlock()
+	priv := f.NewValue(longTy)
+	pub := f.NewValue(longTy)
+	use := f.NewValue(longTy)
+	blk.Insts = []*ir.Inst{
+		{Op: ir.OpConst, Res: priv, Imm: 1},
+		{Op: ir.OpConst, Res: pub, Imm: 2},
+		{Op: ir.OpCall, Res: ir.NoValue, Callee: "ext"},
+		{Op: ir.OpAdd, Res: use, Args: []ir.Value{priv, pub}},
+		{Op: ir.OpRet, Res: ir.NoValue, Args: []ir.Value{use}},
+	}
+	res := allocate(f, map[ir.Value]bool{priv: true})
+
+	if !res.HasCall {
+		t.Fatal("call not detected")
+	}
+	pl := res.Locs[priv]
+	if pl.Kind != LocSlot {
+		t.Fatalf("private value crossing a call must spill, got %+v", pl)
+	}
+	if !pl.Private {
+		t.Error("private spill slot labeled public")
+	}
+	if res.PrivSlots != 1 {
+		t.Errorf("PrivSlots = %d, want 1", res.PrivSlots)
+	}
+	// The public value may stay in a register, but only a callee-saved one
+	// survives the call.
+	if gl := res.Locs[pub]; gl.Kind == LocReg && !asm.IsCalleeSaved(gl.Reg) {
+		t.Errorf("public value crossing the call landed in caller-saved %v", gl.Reg)
+	}
+}
+
+// TestSpillSlotTaintLabeling forces both pools to overflow and checks that
+// public and private values spill to disjoint, independently-numbered slot
+// sequences on their respective stacks.
+func TestSpillSlotTaintLabeling(t *testing.T) {
+	f := &ir.Func{Name: "t"}
+	blk := f.NewBlock()
+	private := map[ir.Value]bool{}
+	var vals []ir.Value
+	// 24 values live at once, alternating taint: overflows the 5-register
+	// caller-saved pool (privates) and the 12-register combined pool.
+	for i := 0; i < 24; i++ {
+		v := f.NewValue(longTy)
+		vals = append(vals, v)
+		if i%2 == 1 {
+			private[v] = true
+		}
+		blk.Insts = append(blk.Insts, &ir.Inst{Op: ir.OpConst, Res: v, Imm: int64(i)})
+	}
+	sum := f.NewValue(longTy)
+	blk.Insts = append(blk.Insts, &ir.Inst{Op: ir.OpAdd, Res: sum, Args: vals})
+	blk.Insts = append(blk.Insts, &ir.Inst{Op: ir.OpRet, Res: ir.NoValue, Args: []ir.Value{sum}})
+
+	res := allocate(f, private)
+	seenPub := map[int]bool{}
+	seenPriv := map[int]bool{}
+	for _, v := range append(append([]ir.Value{}, vals...), sum) {
+		loc := res.Locs[v]
+		if loc.Kind != LocSlot {
+			continue
+		}
+		if loc.Private != private[v] {
+			t.Errorf("v%d spill slot taint = %v, want %v", v, loc.Private, private[v])
+		}
+		seen := seenPub
+		if loc.Private {
+			seen = seenPriv
+		}
+		if seen[loc.Slot] {
+			t.Errorf("slot %d (private=%v) assigned twice", loc.Slot, loc.Private)
+		}
+		seen[loc.Slot] = true
+	}
+	if len(seenPub) == 0 || len(seenPriv) == 0 {
+		t.Fatalf("expected spills in both pools: pub=%d priv=%d", len(seenPub), len(seenPriv))
+	}
+	if res.PubSlots != len(seenPub) || res.PrivSlots != len(seenPriv) {
+		t.Errorf("slot counts pub=%d priv=%d, want %d/%d",
+			res.PubSlots, res.PrivSlots, len(seenPub), len(seenPriv))
+	}
+	// Slots must be numbered densely from 0 within each stack.
+	for i := 0; i < res.PubSlots; i++ {
+		if !seenPub[i] {
+			t.Errorf("public slot %d skipped", i)
+		}
+	}
+	for i := 0; i < res.PrivSlots; i++ {
+		if !seenPriv[i] {
+			t.Errorf("private slot %d skipped", i)
+		}
+	}
+}
+
+// TestCalleeSavedReporting checks that UsedCalleeSaved reports exactly the
+// callee-saved registers handed out.
+func TestCalleeSavedReporting(t *testing.T) {
+	f := &ir.Func{Name: "t"}
+	blk := f.NewBlock()
+	v0 := f.NewValue(longTy)
+	use := f.NewValue(longTy)
+	blk.Insts = []*ir.Inst{
+		{Op: ir.OpConst, Res: v0, Imm: 7},
+		{Op: ir.OpCall, Res: ir.NoValue, Callee: "ext"},
+		{Op: ir.OpAdd, Res: use, Args: []ir.Value{v0, v0}},
+		{Op: ir.OpRet, Res: ir.NoValue, Args: []ir.Value{use}},
+	}
+	res := allocate(f, nil)
+	loc := res.Locs[v0]
+	if loc.Kind != LocReg || !asm.IsCalleeSaved(loc.Reg) {
+		t.Fatalf("public value across a call should get a callee-saved register, got %+v", loc)
+	}
+	found := false
+	for _, r := range res.UsedCalleeSaved {
+		if r == loc.Reg {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("%v missing from UsedCalleeSaved %v", loc.Reg, res.UsedCalleeSaved)
+	}
+}
