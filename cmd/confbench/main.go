@@ -3,26 +3,36 @@
 //
 // Usage:
 //
-//	confbench [-figure all|5|6|7|8|ldap] [-json] [-out BENCH_interp.json]
+//	confbench [-figure all|5|6|7|8|ldap|interp] [-superblocks=true|false]
+//	          [-json] [-out BENCH_interp.json]
 //
 // With -json, every measurement (simulated wall cycles, instruction count,
 // host run time, interpreter MIPS) is also written to a JSON file so later
 // changes have a perf trajectory to compare against.
+//
+// -superblocks=false replays everything with per-instruction stepping;
+// the figure tables must come out byte-identical (the nightly CI job
+// diffs the two). The "interp" figure runs every workload in both modes
+// back to back, verifies the simulated cycles agree, and reports the
+// dispatch speedup.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"time"
 
 	"confllvm"
 	"confllvm/internal/bench"
+	"confllvm/internal/machine"
 )
 
 // benchRow is one (figure, workload, variant) measurement in the JSON
-// report.
+// report. Variant is a confllvm configuration name, or a dispatch mode
+// ("superblock"/"stepwise") for the interp figure.
 type benchRow struct {
 	Figure     string  `json:"figure"`
 	Workload   string  `json:"workload"`
@@ -38,39 +48,51 @@ type benchReport struct {
 	GeneratedAt string `json:"generated_at"`
 	// FigureFilter records the -figure selection so partial runs are never
 	// mistaken for a full-suite trajectory point.
-	FigureFilter string     `json:"figure_filter"`
-	TotalInstrs  uint64     `json:"total_instrs"`
-	TotalHostNS  int64      `json:"total_host_ns"`
-	MIPS         float64    `json:"mips"` // aggregate simulated instructions/sec, in millions
-	Rows         []benchRow `json:"rows"`
+	FigureFilter string `json:"figure_filter"`
+	// Superblocks records the dispatch mode of the figure-table runs.
+	Superblocks bool       `json:"superblocks"`
+	TotalInstrs uint64     `json:"total_instrs"`
+	TotalHostNS int64      `json:"total_host_ns"`
+	MIPS        float64    `json:"mips"` // aggregate simulated instructions/sec, in millions
+	Rows        []benchRow `json:"rows"`
 }
 
-var report *benchReport
+var (
+	report *benchReport
+	// mcfg is the machine configuration used for the figure tables,
+	// controlled by -superblocks.
+	mcfg machine.Config
+)
 
 // record adds a measurement to the JSON report (no-op without -json).
-func record(figure, workload string, v confllvm.Variant, m *bench.Measurement) {
+func record(figure, workload, variant string, m *bench.Measurement) {
 	if report == nil {
 		return
 	}
 	report.TotalInstrs += m.Stats.Instrs
 	report.TotalHostNS += m.HostNS
 	report.Rows = append(report.Rows, benchRow{
-		Figure: figure, Workload: workload, Variant: v.String(),
+		Figure: figure, Workload: workload, Variant: variant,
 		WallCycles: m.Wall, Instrs: m.Stats.Instrs, HostNS: m.HostNS,
 		MIPS: m.MIPS(),
 	})
 }
 
 func main() {
-	figure := flag.String("figure", "all", "which figure to regenerate: all, 5, 6, 7, 8, ldap")
+	figure := flag.String("figure", "all", "which figure to regenerate: all, 5, 6, 7, 8, ldap, interp")
+	superblocks := flag.Bool("superblocks", true, "dispatch basic blocks (false = per-instruction stepping)")
 	jsonOut := flag.Bool("json", false, "also write a JSON perf report")
 	outPath := flag.String("out", "BENCH_interp.json", "path of the JSON report (with -json)")
 	flag.Parse()
+
+	mcfg = machine.DefaultConfig()
+	mcfg.Superblocks = *superblocks
 
 	if *jsonOut {
 		report = &benchReport{
 			GeneratedAt:  time.Now().UTC().Format(time.RFC3339),
 			FigureFilter: *figure,
+			Superblocks:  *superblocks,
 		}
 		if *figure != "all" && *outPath == "BENCH_interp.json" {
 			fmt.Fprintf(os.Stderr, "confbench: note: partial run (-figure %s) writing the default %s; "+
@@ -92,6 +114,7 @@ func main() {
 	run("ldap", ldap)
 	run("7", fig7)
 	run("8", fig8)
+	run("interp", interp)
 
 	if report != nil {
 		if report.TotalHostNS > 0 {
@@ -117,13 +140,14 @@ func fig5() error {
 		confllvm.VariantBare, confllvm.VariantCFI, confllvm.VariantMPX, confllvm.VariantSeg}
 	tbl := bench.NewTable("Figure 5: SPEC CPU 2006 execution time (% of Base)", cols, "cyc")
 	for _, k := range bench.SPECKernels() {
+		wl := bench.SPECWorkload(k, k.Params)
 		for _, v := range cols {
-			m, err := bench.RunSPEC(k, v)
+			m, err := wl.Run(v, &mcfg)
 			if err != nil {
 				return err
 			}
 			tbl.Set(k.Name, v, m.Wall)
-			record("fig5", k.Name, v, m)
+			record("fig5", k.Name, v.String(), m)
 		}
 	}
 	fmt.Println(tbl)
@@ -140,13 +164,14 @@ func fig6() error {
 	tbl := bench.NewTable("Figure 6: NGINX cycles per request (% of Base)", cols, "cyc/req")
 	const reqs = 32
 	for _, kb := range []int{0, 1, 2, 5, 10, 20, 40} {
+		wl := bench.WebWorkload(reqs, kb*1024)
 		for _, v := range cols {
-			m, err := bench.RunWebServer(v, reqs, kb*1024)
+			m, err := wl.Run(v, &mcfg)
 			if err != nil {
 				return err
 			}
 			tbl.Set(fmt.Sprintf("resp-%02dKB", kb), v, m.Wall/uint64(reqs))
-			record("fig6", fmt.Sprintf("resp-%02dKB", kb), v, m)
+			record("fig6", fmt.Sprintf("resp-%02dKB", kb), v.String(), m)
 		}
 	}
 	fmt.Println(tbl)
@@ -161,13 +186,14 @@ func ldap() error {
 		name string
 		miss int
 	}{{"query-miss", 100}, {"query-hit", 0}} {
+		wl := bench.LDAPWorkload(queries, mode.miss)
 		for _, v := range cols {
-			m, err := bench.RunLDAP(v, queries, mode.miss)
+			m, err := wl.Run(v, &mcfg)
 			if err != nil {
 				return err
 			}
 			tbl.Set(mode.name, v, m.Wall/queries)
-			record("ldap", mode.name, v, m)
+			record("ldap", mode.name, v.String(), m)
 		}
 	}
 	fmt.Println(tbl)
@@ -179,13 +205,14 @@ func fig7() error {
 		confllvm.VariantBare, confllvm.VariantCFI, confllvm.VariantMPX}
 	tbl := bench.NewTable("Figure 7: Privado classification latency (% of Base)", cols, "cyc/img")
 	const images = 4
+	wl := bench.ClassifierWorkload(images)
 	for _, v := range cols {
-		m, err := bench.RunClassifier(v, images)
+		m, err := wl.Run(v, &mcfg)
 		if err != nil {
 			return err
 		}
 		tbl.Set("classify", v, m.Wall/images)
-		record("fig7", "classify", v, m)
+		record("fig7", "classify", v.String(), m)
 	}
 	fmt.Println(tbl)
 	return nil
@@ -195,15 +222,54 @@ func fig8() error {
 	cols := []confllvm.Variant{confllvm.VariantBase, confllvm.VariantSeg, confllvm.VariantMPX}
 	tbl := bench.NewTable("Figure 8: Merkle-FS parallel read, total time (% of Base)", cols, "cyc")
 	for _, n := range []int{1, 2, 3, 4, 5, 6} {
+		wl := bench.MerkleWorkload(256, n)
 		for _, v := range cols {
-			m, err := bench.RunMerkle(v, 256, n)
+			m, err := wl.Run(v, &mcfg)
 			if err != nil {
 				return err
 			}
 			tbl.Set(fmt.Sprintf("%d-threads", n), v, m.Wall)
-			record("fig8", fmt.Sprintf("%d-threads", n), v, m)
+			record("fig8", fmt.Sprintf("%d-threads", n), v.String(), m)
 		}
 	}
 	fmt.Println(tbl)
+	return nil
+}
+
+// interp sweeps every workload with superblock dispatch on and off under
+// OurMPX: simulated cycles must agree exactly (a runtime re-check of the
+// determinism invariant) and the MIPS ratio is the dispatch speedup.
+// These rows are the BENCH_interp.json trajectory datapoints.
+func interp() error {
+	fmt.Println("Interpreter dispatch: superblock vs per-instruction stepping (OurMPX)")
+	fmt.Printf("%-16s %12s %12s %9s\n", "workload", "step MIPS", "block MIPS", "speedup")
+	const v = confllvm.VariantMPX
+	stepConf := machine.DefaultConfig()
+	stepConf.Superblocks = false
+	blockConf := machine.DefaultConfig()
+	blockConf.Superblocks = true
+	var geo float64
+	var n int
+	for _, wl := range bench.Workloads(false) {
+		ms, err := wl.Run(v, &stepConf)
+		if err != nil {
+			return err
+		}
+		mb, err := wl.Run(v, &blockConf)
+		if err != nil {
+			return err
+		}
+		if ms.Wall != mb.Wall || ms.Stats != mb.Stats {
+			return fmt.Errorf("%s: dispatch modes disagree (stepwise %d cycles, superblock %d cycles)",
+				wl.Name, ms.Wall, mb.Wall)
+		}
+		speedup := mb.MIPS() / ms.MIPS()
+		fmt.Printf("%-16s %12.1f %12.1f %8.2fx\n", wl.Name, ms.MIPS(), mb.MIPS(), speedup)
+		record("interp", wl.Name, "stepwise", ms)
+		record("interp", wl.Name, "superblock", mb)
+		geo += math.Log(speedup)
+		n++
+	}
+	fmt.Printf("%-16s %25s %8.2fx\n\n", "geomean", "", math.Exp(geo/float64(n)))
 	return nil
 }

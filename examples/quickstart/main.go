@@ -5,6 +5,9 @@
 //  2. the fixed version compiles, passes ConfVerify, and runs on the
 //     emulated machine with the password confined to the private region;
 //  3. the observable network output provably never contains the password.
+//
+// The handler sources and the request world live in internal/bench
+// (quickstart.go), where the differential-execution tests reuse them.
 package main
 
 import (
@@ -13,60 +16,13 @@ import (
 	"log"
 
 	"confllvm"
+	"confllvm/internal/bench"
 )
-
-const buggy = `
-#define SIZE 32
-extern int send(int fd, char *buf, int buf_size);
-extern void read_passwd(char *uname, private char *pass, int size);
-extern int read_file(char *fname, char *out, int size);
-
-int authenticate(char *uname, private char *upass, private char *pass);
-
-void handleReq(char *uname, private char *upasswd, char *fname,
-               char *out, int out_size) {
-	char passwd[SIZE];
-	char fcontents[SIZE];
-	read_passwd(uname, passwd, SIZE);
-	if (!authenticate(uname, upasswd, passwd)) return;
-	/* BUG (paper Fig. 1, line 10): the cleartext password goes to a
-	 * public channel. */
-	send(1, passwd, SIZE);
-	read_file(fname, fcontents, SIZE);
-	int i;
-	for (i = 0; i < out_size && i < SIZE; i++) out[i] = fcontents[i];
-}
-
-int authenticate(char *uname, private char *upass, private char *pass) {
-	int i;
-	for (i = 0; i < SIZE; i++) {
-		if (upass[i] != pass[i]) return 0;
-		if (upass[i] == 0) break;
-	}
-	return 1;
-}
-
-extern int recv(int fd, char *buf, int buf_size);
-extern void decrypt(char *src, private char *dst, int size);
-
-int main() {
-	char req[128];
-	char out[SIZE];
-	private char upw[SIZE];
-	int n = recv(0, req, 128);
-	if (n < SIZE) return 1;
-	/* request: 32 bytes encrypted password + filename */
-	decrypt(req, upw, SIZE);
-	handleReq(req + SIZE, upw, req + SIZE, out, SIZE);
-	send(1, out, SIZE);
-	return 0;
-}
-`
 
 func main() {
 	// Step 1: the buggy handler must be rejected.
 	_, err := confllvm.Compile(confllvm.Program{
-		Sources: []confllvm.Source{{Name: "buggy.c", Code: buggy}},
+		Sources: []confllvm.Source{{Name: "buggy.c", Code: bench.QuickstartBuggySrc}},
 	}, confllvm.VariantSeg)
 	if err == nil {
 		log.Fatal("expected the password leak to be rejected")
@@ -75,11 +31,11 @@ func main() {
 	fmt.Println(err)
 	fmt.Println()
 
-	// Step 2: remove the leaking line and compile for both schemes.
-	fixed := bytes.Replace([]byte(buggy), []byte("send(1, passwd, SIZE);"), []byte(""), 1)
+	// Step 2: the version without the leaking line compiles for both
+	// schemes.
 	for _, v := range []confllvm.Variant{confllvm.VariantMPX, confllvm.VariantSeg} {
 		art, err := confllvm.Compile(confllvm.Program{
-			Sources: []confllvm.Source{{Name: "fixed.c", Code: string(fixed)}},
+			Sources: []confllvm.Source{{Name: "fixed.c", Code: bench.QuickstartFixedSrc()}},
 		}, v)
 		if err != nil {
 			log.Fatalf("[%v] compile: %v", v, err)
@@ -89,19 +45,7 @@ func main() {
 		}
 
 		// Step 3: run with a real secret and watch the wire.
-		password := "correct-horse-battery"
-		w := confllvm.NewWorld()
-		// This toy request reuses the filename as the username.
-		w.Passwords["file0"] = []byte(password)
-		pw := make([]byte, 32)
-		copy(pw, password)
-		req := append([]byte{}, confllvm.EncryptForWire(pw)...)
-		req = append(req, []byte("file0")...)
-		req = append(req, make([]byte, 128-len(req))...)
-		w.NetIn = [][]byte{req}
-		w.Files["file0"] = []byte("hello world")
-
-		res, err := confllvm.Run(art, w, nil)
+		res, err := confllvm.Run(art, bench.QuickstartWorld(), nil)
 		if err != nil {
 			log.Fatalf("[%v] run: %v", v, err)
 		}
@@ -109,7 +53,7 @@ func main() {
 		fmt.Printf("verified, ran %d instructions in %d simulated cycles\n",
 			res.Stats.Instrs, res.Stats.Cycles)
 		for _, pkt := range res.NetOut {
-			if bytes.Contains(pkt, []byte(password)) {
+			if bytes.Contains(pkt, []byte(bench.QuickstartPassword)) {
 				log.Fatal("the password escaped in cleartext!")
 			}
 		}

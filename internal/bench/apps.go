@@ -2,7 +2,6 @@ package bench
 
 import (
 	"encoding/binary"
-	"fmt"
 	"math"
 
 	"confllvm"
@@ -101,25 +100,8 @@ int main() {
 // RunLDAP runs the directory server: missRate=100 reproduces the paper's
 // first experiment (queries for absent entries), missRate=0 the second.
 func RunLDAP(v confllvm.Variant, queries, missRate int) (*Measurement, error) {
-	prog := confllvm.Program{Sources: []confllvm.Source{
-		{Name: "ldap.c", Code: LDAPSrc},
-		{Name: "ulib.c", Code: ULib},
-	}}
-	art, err := CompileCached("ldap", v, prog)
-	if err != nil {
-		return nil, err
-	}
-	w := confllvm.NewWorld()
-	w.Params = []int64{int64(queries), int64(missRate)}
-	res, hostNS, err := timedRun(art, w, nil)
-	if err != nil {
-		return nil, err
-	}
-	if res.Fault != nil {
-		return nil, fmt.Errorf("ldap [%v]: %v", v, res.Fault)
-	}
-	return &Measurement{Variant: v, Wall: res.WallCycles, Stats: res.Stats,
-		Outputs: res.Outputs, Res: res, HostNS: hostNS}, nil
+	wl := LDAPWorkload(queries, missRate)
+	return wl.Run(v, nil)
 }
 
 // ---- Privado / SGX image classifier (Fig. 7, §7.4) ----
@@ -205,41 +187,8 @@ func packFloats(vals []float64) []byte {
 // RunClassifier classifies `images` private images and returns the
 // measurement; per-image latency is Wall/images.
 func RunClassifier(v confllvm.Variant, images int) (*Measurement, error) {
-	prog := confllvm.Program{
-		Sources: []confllvm.Source{
-			{Name: "classifier.c", Code: ClassifierSrc},
-			{Name: "ulib.c", Code: ULib},
-		},
-		AllPrivate: v != confllvm.VariantBase && v != confllvm.VariantBaseOA,
-	}
-	art, err := CompileCached("classifier", v, prog)
-	if err != nil {
-		return nil, err
-	}
-	w := confllvm.NewWorld()
-	w.Params = []int64{int64(images)}
-	mk := func(n int, scale float64) []byte {
-		vals := make([]float64, n)
-		s := int64(99)
-		for i := range vals {
-			s = s*6364136223846793005 + 1442695040888963407
-			vals[i] = (float64(s%1000)/500 - 1) * scale
-		}
-		return packFloats(vals)
-	}
-	w.PrivIn[0] = mk(192, 1)      // image (3 KB > paper's size; 192*8 = 1.5KB)
-	w.PrivIn[1] = mk(192*48, 0.1) // w0
-	w.PrivIn[2] = mk(48*48, 0.1)  // wh
-	w.PrivIn[3] = mk(48*10, 0.1)  // wo
-	res, hostNS, err := timedRun(art, w, nil)
-	if err != nil {
-		return nil, err
-	}
-	if res.Fault != nil {
-		return nil, fmt.Errorf("classifier [%v]: %v", v, res.Fault)
-	}
-	return &Measurement{Variant: v, Wall: res.WallCycles, Stats: res.Stats,
-		Outputs: res.Outputs, Res: res, HostNS: hostNS}, nil
+	wl := ClassifierWorkload(images)
+	return wl.Run(v, nil)
 }
 
 // ---- Merkle integrity library (Fig. 8, §7.5) ----
@@ -316,35 +265,8 @@ int main() {
 // RunMerkle reads a fileKB-kilobyte integrity-protected file with nThreads
 // parallel readers.
 func RunMerkle(v confllvm.Variant, fileKB, nThreads int) (*Measurement, error) {
-	prog := confllvm.Program{Sources: []confllvm.Source{
-		{Name: "merkle.c", Code: MerkleSrc},
-		{Name: "ulib.c", Code: ULib},
-	}}
-	art, err := CompileCached("merkle", v, prog)
-	if err != nil {
-		return nil, err
-	}
-	w := confllvm.NewWorld()
-	w.Params = []int64{int64(fileKB * 1024), int64(nThreads)}
-	data := make([]byte, fileKB*1024)
-	for i := range data {
-		data[i] = byte(i * 7)
-	}
-	w.PrivIn[0] = data
-	res, hostNS, err := timedRun(art, w, nil)
-	if err != nil {
-		return nil, err
-	}
-	if res.Fault != nil {
-		return nil, fmt.Errorf("merkle [%v]: %v", v, res.Fault)
-	}
-	for _, o := range res.Outputs {
-		if o < 0 {
-			return nil, fmt.Errorf("merkle [%v]: integrity verification failed (%d)", v, o)
-		}
-	}
-	return &Measurement{Variant: v, Wall: res.WallCycles, Stats: res.Stats,
-		Outputs: res.Outputs, Res: res, HostNS: hostNS}, nil
+	wl := MerkleWorkload(fileKB, nThreads)
+	return wl.Run(v, nil)
 }
 
 var _ = trt.DefaultKey

@@ -65,28 +65,8 @@ func CompileCached(name string, v confllvm.Variant, prog confllvm.Program) (*con
 
 // RunSPEC executes one SPEC-like kernel under a variant.
 func RunSPEC(k SPECKernel, v confllvm.Variant) (*Measurement, error) {
-	prog := confllvm.Program{
-		Sources: []confllvm.Source{
-			{Name: k.Name + ".c", Code: k.Src},
-			{Name: "ulib.c", Code: ULib},
-		},
-		Strict: true, // SPEC has no private data; strict mode is free
-	}
-	art, err := CompileCached("spec-"+k.Name, v, prog)
-	if err != nil {
-		return nil, err
-	}
-	w := confllvm.NewWorld()
-	w.Params = k.Params
-	res, hostNS, err := timedRun(art, w, nil)
-	if err != nil {
-		return nil, err
-	}
-	if res.Fault != nil {
-		return nil, fmt.Errorf("%s [%v]: %v", k.Name, v, res.Fault)
-	}
-	return &Measurement{Variant: v, Wall: res.WallCycles, Stats: res.Stats,
-		Outputs: res.Outputs, Res: res, HostNS: hostNS}, nil
+	wl := SPECWorkload(k, k.Params)
+	return wl.Run(v, nil)
 }
 
 // Table renders a paper-style percent-of-base table: one row per workload,

@@ -1,0 +1,100 @@
+package bench
+
+import (
+	"strings"
+
+	"confllvm"
+)
+
+// QuickstartBuggySrc is the paper's Figure 1 story: a web-server request
+// handler that sends the cleartext password to a public channel. Taint
+// inference must reject it. examples/quickstart walks the full narrative;
+// the fixed version doubles as a differential-execution workload.
+const QuickstartBuggySrc = `
+#define SIZE 32
+extern int send(int fd, char *buf, int buf_size);
+extern void read_passwd(char *uname, private char *pass, int size);
+extern int read_file(char *fname, char *out, int size);
+
+int authenticate(char *uname, private char *upass, private char *pass);
+
+void handleReq(char *uname, private char *upasswd, char *fname,
+               char *out, int out_size) {
+	char passwd[SIZE];
+	char fcontents[SIZE];
+	read_passwd(uname, passwd, SIZE);
+	if (!authenticate(uname, upasswd, passwd)) return;
+	/* BUG (paper Fig. 1, line 10): the cleartext password goes to a
+	 * public channel. */
+	send(1, passwd, SIZE);
+	read_file(fname, fcontents, SIZE);
+	int i;
+	for (i = 0; i < out_size && i < SIZE; i++) out[i] = fcontents[i];
+}
+
+int authenticate(char *uname, private char *upass, private char *pass) {
+	int i;
+	for (i = 0; i < SIZE; i++) {
+		if (upass[i] != pass[i]) return 0;
+		if (upass[i] == 0) break;
+	}
+	return 1;
+}
+
+extern int recv(int fd, char *buf, int buf_size);
+extern void decrypt(char *src, private char *dst, int size);
+
+int main() {
+	char req[128];
+	char out[SIZE];
+	private char upw[SIZE];
+	int n = recv(0, req, 128);
+	if (n < SIZE) return 1;
+	/* request: 32 bytes encrypted password + filename */
+	decrypt(req, upw, SIZE);
+	handleReq(req + SIZE, upw, req + SIZE, out, SIZE);
+	send(1, out, SIZE);
+	return 0;
+}
+`
+
+// QuickstartFixedSrc is the buggy handler with the leaking send removed:
+// it compiles under taint inference and runs cleanly.
+func QuickstartFixedSrc() string {
+	return strings.Replace(QuickstartBuggySrc, "send(1, passwd, SIZE);", "", 1)
+}
+
+// QuickstartPassword is the secret the quickstart world authenticates
+// with; observable channels must never contain it.
+const QuickstartPassword = "correct-horse-battery"
+
+// QuickstartWorld builds the quickstart request: an encrypted password
+// followed by the filename, padded to the handler's 128-byte read.
+func QuickstartWorld() *confllvm.World {
+	w := confllvm.NewWorld()
+	// The toy request reuses the filename as the username.
+	w.Passwords["file0"] = []byte(QuickstartPassword)
+	pw := make([]byte, 32)
+	copy(pw, QuickstartPassword)
+	req := append([]byte{}, confllvm.EncryptForWire(pw)...)
+	req = append(req, []byte("file0")...)
+	req = append(req, make([]byte, 128-len(req))...)
+	w.NetIn = [][]byte{req}
+	w.Files["file0"] = []byte("hello world")
+	return w
+}
+
+// QuickstartWorkload is the fixed quickstart handler as a benchmark/
+// differential workload.
+func QuickstartWorkload() Workload {
+	return Workload{
+		Key:  "quickstart",
+		Name: "quickstart",
+		Prog: func(confllvm.Variant) confllvm.Program {
+			return confllvm.Program{Sources: []confllvm.Source{
+				{Name: "fixed.c", Code: QuickstartFixedSrc()},
+			}}
+		},
+		World: QuickstartWorld,
+	}
+}

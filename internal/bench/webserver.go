@@ -1,8 +1,6 @@
 package bench
 
 import (
-	"fmt"
-
 	"confllvm"
 	"confllvm/internal/trt"
 )
@@ -124,24 +122,6 @@ func WebWorld(nReqs int, fileSize int) *confllvm.World {
 // RunWebServer serves nReqs requests of fileSize bytes under a variant and
 // returns the measurement (throughput = requests per wall cycle).
 func RunWebServer(v confllvm.Variant, nReqs, fileSize int) (*Measurement, error) {
-	prog := confllvm.Program{Sources: []confllvm.Source{
-		{Name: "webserver.c", Code: WebServerSrc},
-		{Name: "ulib.c", Code: ULib},
-	}}
-	art, err := CompileCached("webserver", v, prog)
-	if err != nil {
-		return nil, err
-	}
-	res, hostNS, err := timedRun(art, WebWorld(nReqs, fileSize), nil)
-	if err != nil {
-		return nil, err
-	}
-	if res.Fault != nil {
-		return nil, fmt.Errorf("webserver [%v]: %v", v, res.Fault)
-	}
-	if len(res.Outputs) != 1 || res.Outputs[0] != int64(nReqs) {
-		return nil, fmt.Errorf("webserver [%v]: served %v of %d requests", v, res.Outputs, nReqs)
-	}
-	return &Measurement{Variant: v, Wall: res.WallCycles, Stats: res.Stats,
-		Outputs: res.Outputs, Res: res, HostNS: hostNS}, nil
+	wl := WebWorkload(nReqs, fileSize)
+	return wl.Run(v, nil)
 }

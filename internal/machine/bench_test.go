@@ -84,6 +84,64 @@ func BenchmarkStepBnd(b *testing.B) {
 	stepLoop(b, t)
 }
 
+// BenchmarkRun measures whole-Run dispatch throughput on a loopy program
+// (straight-line ALU blocks broken by a conditional branch), comparing
+// superblock dispatch against per-instruction stepping. This is the
+// BENCH_interp.json "BenchmarkRun" datapoint: superblock mode must hold
+// a >= 1.5x MIPS advantage here.
+func BenchmarkRun(b *testing.B) {
+	for _, mode := range []struct {
+		name        string
+		superblocks bool
+	}{{"superblock", true}, {"stepwise", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			const iters = 1000
+			conf := DefaultConfig()
+			conf.Superblocks = mode.superblocks
+			m := New(conf)
+			var code []byte
+			// rcx = iters; loop: 8 ALU ops; rcx--; cmp; jne loop; exit.
+			code = asm.Encode(code, asm.Inst{Op: asm.OpMovRI, Dst: asm.RCX, Imm: iters})
+			loopStart := 0x1000 + uint64(len(code))
+			for _, in := range []asm.Inst{
+				{Op: asm.OpMovRI, Dst: asm.RAX, Imm: 7},
+				{Op: asm.OpAddRI, Dst: asm.RAX, Imm: 3},
+				{Op: asm.OpMovRR, Dst: asm.RBX, Src: asm.RAX},
+				{Op: asm.OpXorRR, Dst: asm.RDX, Src: asm.RBX},
+				{Op: asm.OpShlRI, Dst: asm.RBX, Imm: 2},
+				{Op: asm.OpSubRR, Dst: asm.RBX, Src: asm.RAX},
+				{Op: asm.OpAddRR, Dst: asm.RSI, Src: asm.RBX},
+				{Op: asm.OpSubRI, Dst: asm.RCX, Imm: 1},
+				{Op: asm.OpCmpRI, Dst: asm.RCX, Imm: 0},
+			} {
+				code = asm.Encode(code, in)
+			}
+			code = asm.Encode(code, asm.Inst{Op: asm.OpJcc, Cond: asm.CondNE, Imm: int64(loopStart)})
+			code = asm.Encode(code, asm.Inst{Op: asm.OpExit})
+			if _, err := m.Mem.Map("code", 0x1000, 0x1000, PermR|PermX); err != nil {
+				b.Fatal(err)
+			}
+			if f := m.Mem.WriteBytesUnchecked(0x1000, code); f != nil {
+				b.Fatal(f)
+			}
+			t := m.NewThread(0x1000, 0, 0, 0)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				t.Halted = false
+				t.Fault = nil
+				t.PC = 0x1000
+				if f := m.Run(); f != nil {
+					b.Fatal(f)
+				}
+			}
+			b.StopTimer()
+			mips := float64(t.Stats.Instrs) / 1e6 / b.Elapsed().Seconds()
+			b.ReportMetric(mips, "MIPS")
+		})
+	}
+}
+
 // BenchmarkMemRead measures Memory.Read alone (aligned 8-byte hits).
 func BenchmarkMemRead(b *testing.B) {
 	mem := NewMemory()

@@ -11,6 +11,15 @@ type cache struct {
 	lineBits uint
 	hits     uint64
 	misses   uint64
+
+	// clock is the per-cache LRU timestamp source. It is per instance (not
+	// a process global) so that a machine's replacement decisions depend
+	// only on its own access sequence: LRU comparisons are always between
+	// lines of the same cache, so only the relative order of that cache's
+	// own accesses matters, and a private monotonic clock preserves it
+	// while keeping runs reproducible no matter what else the process has
+	// simulated before.
+	clock uint64
 }
 
 type cacheLine struct {
@@ -39,14 +48,12 @@ func newCache() *cache {
 	return c
 }
 
-var lruClock uint64
-
 // access touches addr and reports whether it hit. The hit scan and the
 // LRU victim scan share one pass; the replacement policy (first invalid
 // way by index, else the least-recently-used way) is unchanged, so miss
 // counts — and therefore simulated cycles — are identical.
 func (c *cache) access(addr uint64) bool {
-	lruClock++
+	c.clock++
 	line := addr >> c.lineBits
 	set := c.sets[line&c.setMask]
 	tag := line >> 5 // bits above the set index
@@ -54,7 +61,7 @@ func (c *cache) access(addr uint64) bool {
 	for i := range set {
 		if set[i].valid {
 			if set[i].tag == tag {
-				set[i].lru = lruClock
+				set[i].lru = c.clock
 				c.hits++
 				return true
 			}
@@ -69,6 +76,6 @@ func (c *cache) access(addr uint64) bool {
 	if invalid >= 0 {
 		victim = invalid
 	}
-	set[victim] = cacheLine{tag: tag, valid: true, lru: lruClock}
+	set[victim] = cacheLine{tag: tag, valid: true, lru: c.clock}
 	return false
 }

@@ -1,0 +1,204 @@
+// Randomized differential fuzzing: seeded, deterministic miniC programs
+// are generated, compiled through the full pipeline, and executed under
+// both dispatch modes. The generator leans on control-flow shapes —
+// nested ifs, bounded loops, calls — because block boundaries are exactly
+// where superblock dispatch can diverge from per-instruction stepping; it
+// also emits occasional unguarded divisions so divide-fault delivery is
+// fuzzed too.
+package machine_test
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"confllvm"
+	"confllvm/internal/bench"
+	"confllvm/internal/machine"
+)
+
+// progGen builds one random-but-valid miniC program.
+type progGen struct {
+	r      *rand.Rand
+	nFuncs int
+}
+
+const (
+	fuzzGlobals = 4
+	fuzzLocals  = 4
+	fuzzArrLen  = 32
+)
+
+// expr emits a depth-bounded integer expression over the in-scope names.
+func (g *progGen) expr(depth, fn int) string {
+	if depth <= 0 || g.r.Intn(3) == 0 {
+		switch g.r.Intn(5) {
+		case 0:
+			return fmt.Sprintf("%d", g.r.Int63n(2001)-1000)
+		case 1:
+			return fmt.Sprintf("%d", g.r.Int63()-g.r.Int63()) // wide constants
+		case 2:
+			return fmt.Sprintf("g%d", g.r.Intn(fuzzGlobals))
+		case 3:
+			return fmt.Sprintf("l%d", g.r.Intn(fuzzLocals))
+		default:
+			return fmt.Sprintf("arr[(%s) & %d]", g.expr(0, fn), fuzzArrLen-1)
+		}
+	}
+	a := g.expr(depth-1, fn)
+	b := g.expr(depth-1, fn)
+	switch g.r.Intn(12) {
+	case 0:
+		return "(" + a + " + " + b + ")"
+	case 1:
+		return "(" + a + " - " + b + ")"
+	case 2:
+		return "(" + a + " * " + b + ")"
+	case 3:
+		return "(" + a + " & " + b + ")"
+	case 4:
+		return "(" + a + " | " + b + ")"
+	case 5:
+		return "(" + a + " ^ " + b + ")"
+	case 6:
+		return "(" + a + " << ((" + b + ") & 15))"
+	case 7:
+		return "(" + a + " >> ((" + b + ") & 15))"
+	case 8:
+		// Guarded division: the divisor is always in [1, 8].
+		return "(" + a + " / (((" + b + ") & 7) + 1))"
+	case 9:
+		if g.r.Intn(8) == 0 {
+			// Rarely, an unguarded division: may fault — which both
+			// dispatch modes must report identically.
+			return "(" + a + " % " + b + ")"
+		}
+		return "(" + a + " % (((" + b + ") & 7) + 1))"
+	case 10:
+		return "(" + a + " < " + b + ")"
+	default:
+		if fn > 0 {
+			return fmt.Sprintf("f%d(%s, %s)", g.r.Intn(fn), a, b)
+		}
+		return "(" + a + " == " + b + ")"
+	}
+}
+
+// stmts emits up to n statements; fn bounds which functions may be called
+// (callees are always lower-numbered, so there is no recursion), and lv
+// is the loop-nesting level (used to pick distinct counter names).
+func (g *progGen) stmts(b *strings.Builder, n, depth, fn, lv int) {
+	for i := 0; i < n; i++ {
+		switch g.r.Intn(7) {
+		case 0, 1:
+			fmt.Fprintf(b, "l%d = %s;\n", g.r.Intn(fuzzLocals), g.expr(depth, fn))
+		case 2:
+			fmt.Fprintf(b, "g%d = %s;\n", g.r.Intn(fuzzGlobals), g.expr(depth, fn))
+		case 3:
+			fmt.Fprintf(b, "arr[(%s) & %d] = %s;\n", g.expr(1, fn), fuzzArrLen-1, g.expr(depth, fn))
+		case 4:
+			fmt.Fprintf(b, "if (%s) {\n", g.expr(depth, fn))
+			g.stmts(b, 1+g.r.Intn(2), depth-1, fn, lv)
+			if g.r.Intn(2) == 0 {
+				b.WriteString("} else {\n")
+				g.stmts(b, 1+g.r.Intn(2), depth-1, fn, lv)
+			}
+			b.WriteString("}\n")
+		case 5:
+			if lv >= 2 {
+				fmt.Fprintf(b, "acc = acc + %s;\n", g.expr(depth, fn))
+				continue
+			}
+			// A bounded countdown loop with a dedicated counter.
+			fmt.Fprintf(b, "i%d = (%s) & 15;\n", lv, g.expr(1, fn))
+			fmt.Fprintf(b, "while (i%d > 0) {\n", lv)
+			g.stmts(b, 1+g.r.Intn(2), depth-1, fn, lv+1)
+			fmt.Fprintf(b, "i%d = i%d - 1;\n}\n", lv, lv)
+		default:
+			fmt.Fprintf(b, "acc = acc + %s;\n", g.expr(depth, fn))
+		}
+	}
+}
+
+func (g *progGen) fn(b *strings.Builder, idx int) {
+	fmt.Fprintf(b, "long f%d(long a, long b) {\n", idx)
+	b.WriteString("long acc = a + b;\nlong i0 = 0;\nlong i1 = 0;\n")
+	for i := 0; i < fuzzLocals; i++ {
+		fmt.Fprintf(b, "long l%d = %d;\n", i, g.r.Int63n(100))
+	}
+	g.stmts(b, 2+g.r.Intn(3), 2, idx, 0)
+	b.WriteString("return acc;\n}\n\n")
+}
+
+// generate produces one complete translation unit.
+func (g *progGen) generate() string {
+	var b strings.Builder
+	b.WriteString("extern void output(long v);\n\n")
+	for i := 0; i < fuzzGlobals; i++ {
+		fmt.Fprintf(&b, "long g%d = %d;\n", i, g.r.Int63n(1000))
+	}
+	fmt.Fprintf(&b, "long arr[%d];\n\n", fuzzArrLen)
+	for i := 0; i < g.nFuncs; i++ {
+		g.fn(&b, i)
+	}
+	b.WriteString("int main() {\n")
+	b.WriteString("long acc = 0;\nlong i0 = 0;\nlong i1 = 0;\n")
+	for i := 0; i < fuzzLocals; i++ {
+		fmt.Fprintf(&b, "long l%d = %d;\n", i, g.r.Int63n(50))
+	}
+	g.stmts(&b, 4+g.r.Intn(4), 3, g.nFuncs, 0)
+	b.WriteString("output(acc);\n")
+	for i := 0; i < fuzzGlobals; i++ {
+		fmt.Fprintf(&b, "output(g%d);\n", i)
+	}
+	b.WriteString("output(arr[7]);\nreturn 0;\n}\n")
+	return b.String()
+}
+
+// TestFuzzDifferential compiles seeded random programs across variants
+// and differentially executes both dispatch modes. Failures reproduce
+// from the seed in the subtest name.
+func TestFuzzDifferential(t *testing.T) {
+	nProgs := 48
+	if testing.Short() {
+		nProgs = 10
+	}
+	variants := []confllvm.Variant{confllvm.VariantBase, confllvm.VariantCFI,
+		confllvm.VariantMPX, confllvm.VariantSeg}
+	for seed := 0; seed < nProgs; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed-%d", seed), func(t *testing.T) {
+			g := &progGen{r: rand.New(rand.NewSource(int64(seed)*7919 + 17)), nFuncs: 1 + seed%3}
+			src := g.generate()
+			v := variants[seed%len(variants)]
+			art, err := confllvm.Compile(confllvm.Program{
+				Sources: []confllvm.Source{
+					{Name: "fuzz.c", Code: src},
+					{Name: "ulib.c", Code: bench.ULib},
+				},
+			}, v)
+			if err != nil {
+				t.Fatalf("generated program failed to compile:\n%s\nerror: %v", src, err)
+			}
+			res := diffRun(t, art, confllvm.NewWorld, nil)
+			t.Logf("seed %d [%v]: %d instrs, fault=%v", seed, v, res.Stats.Instrs, res.Fault)
+			if res.Fault != nil && res.Fault.Kind != machine.FaultDivide {
+				t.Fatalf("unexpected fault kind (still mode-identical): %v\nprogram:\n%s",
+					res.Fault, src)
+			}
+			// Every few seeds, re-run with the instruction budget cut to a
+			// point inside the program, so the fuel fault lands at a fuzzed
+			// position (often mid-superblock).
+			if seed%3 == 0 && res.Stats.Instrs > 20 {
+				c := machine.DefaultConfig()
+				c.DefaultFuel = res.Stats.Instrs/2 + uint64(seed%7)
+				cut := diffRun(t, art, confllvm.NewWorld, &c)
+				if cut.Fault == nil {
+					t.Fatalf("fuel cutoff at %d of %d instrs did not fault",
+						c.DefaultFuel, res.Stats.Instrs)
+				}
+			}
+		})
+	}
+}

@@ -83,6 +83,15 @@ type Config struct {
 	DefaultFuel  uint64 // instruction budget per Run call (0 = no limit)
 	TrustedCost  uint64 // cycles charged for a U->T->U transition (wrapper)
 	TrustedCost1 uint64 // same, when U and T share memory (Our1Mem)
+
+	// Superblocks makes Run dispatch once per basic block instead of once
+	// per instruction: straight-line decoded instructions are fused into
+	// superblocks (see superblock.go) executed by a tight handler loop.
+	// Architectural results — registers, memory, cycle counts, fault PCs
+	// and messages — are bit-identical to per-instruction stepping; the
+	// differential tests in diff_test.go enforce this. Thread.Step always
+	// executes a single instruction regardless of this flag.
+	Superblocks bool
 }
 
 // DefaultConfig returns the calibrated default cost model.
@@ -95,6 +104,7 @@ func DefaultConfig() Config {
 		DefaultFuel:  2_000_000_000,
 		TrustedCost:  40,
 		TrustedCost1: 8,
+		Superblocks:  true,
 	}
 }
 
@@ -142,8 +152,13 @@ func New(conf Config) *Machine {
 func (m *Machine) RefreshHandlers() { m.rebuildHandlerIndex() }
 
 // rebuildHandlerIndex recomputes the [hndLo, hndHi] PC range covering all
-// registered trusted handlers.
+// registered trusted handlers. When the range changes, superblock metadata
+// is flushed: blocks are built to never span a PC inside the handler
+// range, so a changed range may invalidate existing block boundaries (the
+// decoded instructions themselves stay valid — handler-set changes move
+// dispatch points, not code bytes).
 func (m *Machine) rebuildHandlerIndex() {
+	oldLo, oldHi, oldN := m.hndLo, m.hndHi, m.nHandlers
 	m.nHandlers = len(m.Handlers)
 	m.hndLo, m.hndHi = ^uint64(0), 0
 	for a := range m.Handlers {
@@ -153,6 +168,9 @@ func (m *Machine) rebuildHandlerIndex() {
 		if a > m.hndHi {
 			m.hndHi = a
 		}
+	}
+	if m.hndLo != oldLo || m.hndHi != oldHi || m.nHandlers != oldN {
+		m.flushBlocks()
 	}
 }
 
@@ -312,7 +330,9 @@ func extend(v uint64, size uint8, signed bool) uint64 {
 }
 
 // Step executes one instruction (or one trusted handler) on thread t.
-// It returns a fault if the thread faulted.
+// It returns a fault if the thread faulted. Step always executes exactly
+// one instruction regardless of Config.Superblocks: it is the reference
+// the superblock dispatcher is differentially tested against.
 func (t *Thread) Step() *Fault {
 	m := t.m
 	if t.Halted {
@@ -336,282 +356,347 @@ func (t *Thread) Step() *Fault {
 
 	// Fetch from the per-region decoded-trace cache: one bounds check and
 	// a pointer dereference on the hot path (see trace.go).
-	ip, ilen, ff := m.fetch(t.PC)
-	if ff != nil {
+	if _, _, ff := m.fetch(t.PC); ff != nil {
 		return t.fault(ff)
 	}
+	tr := m.lastTrace
+	_, f := t.execInsts(tr, t.PC-tr.lo, 1)
+	return f
+}
 
-	t.Stats.Instrs++
-	nextPC := t.PC + uint64(ilen)
-	cost := uint64(1)
+// execInsts executes up to max decoded instructions from tr starting at
+// offset off. Every instruction in the range must already be decoded
+// (lens != 0), and all but the last must be straight-line — exactly what
+// buildBlock guarantees for a superblock, and trivially true for max=1.
+//
+// The PC and the Instrs/Cycles counters are kept in locals and written
+// back only on exit, so the interior of a superblock pays no per-
+// instruction bookkeeping. All architectural effects — register updates,
+// memory accesses, flag math, per-op costs, fault kinds/addresses/
+// messages and the PC left behind on a fault or exit — are identical to
+// stepping one instruction at a time; the faulting instruction counts
+// toward Instrs (but not Cycles), as it always has.
+//
+// Returns the number of instructions charged, including a faulting one.
+func (t *Thread) execInsts(tr *codeTrace, off uint64, max int) (int, *Fault) {
+	m := t.m
+	pc := tr.lo + off
+	instrs := t.Stats.Instrs
+	cycles := t.Stats.Cycles
+	var fault *Fault
+	k := 0
+loop:
+	for k < max {
+		ip := &tr.insts[off]
+		k++
+		instrs++
+		nextPC := pc + uint64(tr.lens[off])
+		cost := uint64(1)
 
-	switch ip.Op {
-	case asm.OpNop:
-	case asm.OpMovRR:
-		t.Regs[ip.Dst] = t.Regs[ip.Src]
-	case asm.OpMovRI:
-		t.Regs[ip.Dst] = uint64(ip.Imm)
-	case asm.OpLea:
-		// lea computes the raw address without the segment base (as x64).
-		t.Regs[ip.Dst] = t.ea(&ip.M, false)
-	case asm.OpLoad:
-		addr := t.ea(&ip.M, true)
-		v, f := m.Mem.Read(addr, ip.M.Size)
-		if f != nil {
-			return t.fault(f)
-		}
-		t.Regs[ip.Dst] = extend(v, ip.M.Size, ip.M.Signed)
-		t.Stats.Loads++
-		cost += t.memCost(addr)
-	case asm.OpStore:
-		addr := t.ea(&ip.M, true)
-		if f := m.Mem.Write(addr, ip.M.Size, t.Regs[ip.Src]); f != nil {
-			return t.fault(f)
-		}
-		t.Stats.Stores++
-		cost += t.memCost(addr)
-	case asm.OpPush:
-		if f := t.Push(t.Regs[ip.Src]); f != nil {
-			return t.fault(f)
-		}
-		t.Stats.Stores++
-		cost += t.memCost(t.Regs[asm.RSP])
-	case asm.OpPop:
-		v, f := t.Pop()
-		if f != nil {
-			return t.fault(f)
-		}
-		t.Regs[ip.Dst] = v
-		t.Stats.Loads++
-		cost += t.memCost(t.Regs[asm.RSP] - 8)
+		switch ip.Op {
+		case asm.OpNop:
+		case asm.OpMovRR:
+			t.Regs[ip.Dst] = t.Regs[ip.Src]
+		case asm.OpMovRI:
+			t.Regs[ip.Dst] = uint64(ip.Imm)
+		case asm.OpLea:
+			// lea computes the raw address without the segment base (as x64).
+			t.Regs[ip.Dst] = t.ea(&ip.M, false)
+		case asm.OpLoad:
+			addr := t.ea(&ip.M, true)
+			v, f := m.Mem.Read(addr, ip.M.Size)
+			if f != nil {
+				fault = f
+				break loop
+			}
+			t.Regs[ip.Dst] = extend(v, ip.M.Size, ip.M.Signed)
+			t.Stats.Loads++
+			cost += t.memCost(addr)
+		case asm.OpStore:
+			addr := t.ea(&ip.M, true)
+			if f := m.Mem.Write(addr, ip.M.Size, t.Regs[ip.Src]); f != nil {
+				fault = f
+				break loop
+			}
+			t.Stats.Stores++
+			cost += t.memCost(addr)
+		case asm.OpPush:
+			if f := t.Push(t.Regs[ip.Src]); f != nil {
+				fault = f
+				break loop
+			}
+			t.Stats.Stores++
+			cost += t.memCost(t.Regs[asm.RSP])
+		case asm.OpPop:
+			v, f := t.Pop()
+			if f != nil {
+				fault = f
+				break loop
+			}
+			t.Regs[ip.Dst] = v
+			t.Stats.Loads++
+			cost += t.memCost(t.Regs[asm.RSP] - 8)
 
-	case asm.OpAddRR:
-		t.Regs[ip.Dst] += t.Regs[ip.Src]
-	case asm.OpAddRI:
-		t.Regs[ip.Dst] += uint64(ip.Imm)
-	case asm.OpSubRR:
-		t.Regs[ip.Dst] -= t.Regs[ip.Src]
-	case asm.OpSubRI:
-		t.Regs[ip.Dst] -= uint64(ip.Imm)
-	case asm.OpMulRR:
-		t.Regs[ip.Dst] = uint64(int64(t.Regs[ip.Dst]) * int64(t.Regs[ip.Src]))
-		cost = 3
-	case asm.OpMulRI:
-		t.Regs[ip.Dst] = uint64(int64(t.Regs[ip.Dst]) * ip.Imm)
-		cost = 3
-	case asm.OpDivRR:
-		d := int64(t.Regs[ip.Src])
-		if d == 0 {
-			return t.fault(&Fault{Kind: FaultDivide})
-		}
-		t.Regs[ip.Dst] = uint64(int64(t.Regs[ip.Dst]) / d)
-		cost = 20
-	case asm.OpModRR:
-		d := int64(t.Regs[ip.Src])
-		if d == 0 {
-			return t.fault(&Fault{Kind: FaultDivide})
-		}
-		t.Regs[ip.Dst] = uint64(int64(t.Regs[ip.Dst]) % d)
-		cost = 20
-	case asm.OpAndRR:
-		t.Regs[ip.Dst] &= t.Regs[ip.Src]
-	case asm.OpAndRI:
-		t.Regs[ip.Dst] &= uint64(ip.Imm)
-	case asm.OpOrRR:
-		t.Regs[ip.Dst] |= t.Regs[ip.Src]
-	case asm.OpOrRI:
-		t.Regs[ip.Dst] |= uint64(ip.Imm)
-	case asm.OpXorRR:
-		t.Regs[ip.Dst] ^= t.Regs[ip.Src]
-	case asm.OpXorRI:
-		t.Regs[ip.Dst] ^= uint64(ip.Imm)
-	case asm.OpShlRR:
-		t.Regs[ip.Dst] <<= t.Regs[ip.Src] & 63
-	case asm.OpShlRI:
-		t.Regs[ip.Dst] <<= uint64(ip.Imm) & 63
-	case asm.OpShrRR:
-		t.Regs[ip.Dst] >>= t.Regs[ip.Src] & 63
-	case asm.OpShrRI:
-		t.Regs[ip.Dst] >>= uint64(ip.Imm) & 63
-	case asm.OpSarRR:
-		t.Regs[ip.Dst] = uint64(int64(t.Regs[ip.Dst]) >> (t.Regs[ip.Src] & 63))
-	case asm.OpSarRI:
-		t.Regs[ip.Dst] = uint64(int64(t.Regs[ip.Dst]) >> (uint64(ip.Imm) & 63))
-	case asm.OpNeg:
-		t.Regs[ip.Dst] = -t.Regs[ip.Dst]
-	case asm.OpNot:
-		t.Regs[ip.Dst] = ^t.Regs[ip.Dst]
+		case asm.OpAddRR:
+			t.Regs[ip.Dst] += t.Regs[ip.Src]
+		case asm.OpAddRI:
+			t.Regs[ip.Dst] += uint64(ip.Imm)
+		case asm.OpSubRR:
+			t.Regs[ip.Dst] -= t.Regs[ip.Src]
+		case asm.OpSubRI:
+			t.Regs[ip.Dst] -= uint64(ip.Imm)
+		case asm.OpMulRR:
+			t.Regs[ip.Dst] = uint64(int64(t.Regs[ip.Dst]) * int64(t.Regs[ip.Src]))
+			cost = 3
+		case asm.OpMulRI:
+			t.Regs[ip.Dst] = uint64(int64(t.Regs[ip.Dst]) * ip.Imm)
+			cost = 3
+		case asm.OpDivRR:
+			d := int64(t.Regs[ip.Src])
+			n := int64(t.Regs[ip.Dst])
+			if d == 0 || (d == -1 && n == math.MinInt64) {
+				// x64 #DE covers both divide-by-zero and quotient overflow
+				// (INT64_MIN / -1). Go itself defines the overflow case to
+				// wrap, which is what the interpreter used to do — faulting
+				// instead matches the modeled hardware.
+				fault = &Fault{Kind: FaultDivide}
+				break loop
+			}
+			t.Regs[ip.Dst] = uint64(n / d)
+			cost = 20
+		case asm.OpModRR:
+			d := int64(t.Regs[ip.Src])
+			n := int64(t.Regs[ip.Dst])
+			if d == 0 || (d == -1 && n == math.MinInt64) {
+				fault = &Fault{Kind: FaultDivide}
+				break loop
+			}
+			t.Regs[ip.Dst] = uint64(n % d)
+			cost = 20
+		case asm.OpAndRR:
+			t.Regs[ip.Dst] &= t.Regs[ip.Src]
+		case asm.OpAndRI:
+			t.Regs[ip.Dst] &= uint64(ip.Imm)
+		case asm.OpOrRR:
+			t.Regs[ip.Dst] |= t.Regs[ip.Src]
+		case asm.OpOrRI:
+			t.Regs[ip.Dst] |= uint64(ip.Imm)
+		case asm.OpXorRR:
+			t.Regs[ip.Dst] ^= t.Regs[ip.Src]
+		case asm.OpXorRI:
+			t.Regs[ip.Dst] ^= uint64(ip.Imm)
+		case asm.OpShlRR:
+			t.Regs[ip.Dst] <<= t.Regs[ip.Src] & 63
+		case asm.OpShlRI:
+			t.Regs[ip.Dst] <<= uint64(ip.Imm) & 63
+		case asm.OpShrRR:
+			t.Regs[ip.Dst] >>= t.Regs[ip.Src] & 63
+		case asm.OpShrRI:
+			t.Regs[ip.Dst] >>= uint64(ip.Imm) & 63
+		case asm.OpSarRR:
+			t.Regs[ip.Dst] = uint64(int64(t.Regs[ip.Dst]) >> (t.Regs[ip.Src] & 63))
+		case asm.OpSarRI:
+			t.Regs[ip.Dst] = uint64(int64(t.Regs[ip.Dst]) >> (uint64(ip.Imm) & 63))
+		case asm.OpNeg:
+			t.Regs[ip.Dst] = -t.Regs[ip.Dst]
+		case asm.OpNot:
+			t.Regs[ip.Dst] = ^t.Regs[ip.Dst]
 
-	case asm.OpCmpRR:
-		t.setCmpFlags(t.Regs[ip.Dst], t.Regs[ip.Src])
-	case asm.OpCmpRI:
-		t.setCmpFlags(t.Regs[ip.Dst], uint64(ip.Imm))
-	case asm.OpCmpMR:
-		addr := t.ea(&ip.M, true)
-		v, f := m.Mem.Read(addr, 8)
-		if f != nil {
-			return t.fault(f)
-		}
-		t.setCmpFlags(v, t.Regs[ip.Src])
-		t.Stats.Loads++
-		cost += t.memCost(addr)
-	case asm.OpTestRR:
-		t.setTestFlags(t.Regs[ip.Dst] & t.Regs[ip.Src])
-	case asm.OpTestRI:
-		t.setTestFlags(t.Regs[ip.Dst] & uint64(ip.Imm))
-	case asm.OpSetCC:
-		if t.condTrue(ip.Cond) {
-			t.Regs[ip.Dst] = 1
-		} else {
-			t.Regs[ip.Dst] = 0
-		}
+		case asm.OpCmpRR:
+			t.setCmpFlags(t.Regs[ip.Dst], t.Regs[ip.Src])
+		case asm.OpCmpRI:
+			t.setCmpFlags(t.Regs[ip.Dst], uint64(ip.Imm))
+		case asm.OpCmpMR:
+			addr := t.ea(&ip.M, true)
+			v, f := m.Mem.Read(addr, 8)
+			if f != nil {
+				fault = f
+				break loop
+			}
+			t.setCmpFlags(v, t.Regs[ip.Src])
+			t.Stats.Loads++
+			cost += t.memCost(addr)
+		case asm.OpTestRR:
+			t.setTestFlags(t.Regs[ip.Dst] & t.Regs[ip.Src])
+		case asm.OpTestRI:
+			t.setTestFlags(t.Regs[ip.Dst] & uint64(ip.Imm))
+		case asm.OpSetCC:
+			if t.condTrue(ip.Cond) {
+				t.Regs[ip.Dst] = 1
+			} else {
+				t.Regs[ip.Dst] = 0
+			}
 
-	case asm.OpJmp:
-		nextPC = uint64(ip.Imm)
-	case asm.OpJcc:
-		if t.condTrue(ip.Cond) {
+		case asm.OpJmp:
 			nextPC = uint64(ip.Imm)
-		}
-	case asm.OpJmpR:
-		nextPC = t.Regs[ip.Src]
-	case asm.OpCall:
-		if f := t.Push(nextPC); f != nil {
-			return t.fault(f)
-		}
-		cost = 2 + t.memCost(t.Regs[asm.RSP])
-		nextPC = uint64(ip.Imm)
-	case asm.OpICall:
-		if f := t.Push(nextPC); f != nil {
-			return t.fault(f)
-		}
-		cost = 2 + t.memCost(t.Regs[asm.RSP])
-		nextPC = t.Regs[ip.Src]
-	case asm.OpRet:
-		v, f := t.Pop()
-		if f != nil {
-			return t.fault(f)
-		}
-		cost = 2 + t.memCost(t.Regs[asm.RSP]-8)
-		nextPC = v
-	case asm.OpTrap:
-		return t.fault(&Fault{Kind: FaultCFI, Msg: "trap"})
-	case asm.OpExit:
-		t.Halted = true
-		t.ExitCode = t.Regs[asm.RetReg]
-		t.Stats.Cycles += cost
-		return nil
-
-	case asm.OpBndCLMem, asm.OpBndCUMem, asm.OpBndCLReg, asm.OpBndCUReg:
-		t.Stats.BndChecks++
-		if t.fpCredit > 0 {
-			t.fpCredit--
-			t.Stats.BndMasked++
-			cost = 0
-		}
-		var addr uint64
-		switch ip.Op {
-		case asm.OpBndCLMem, asm.OpBndCUMem:
-			// As with lea, the check is on the raw address (no segment).
-			addr = t.ea(&ip.M, false)
-		default:
-			addr = t.Regs[ip.Src]
-		}
-		b := t.Bnd[ip.Bnd]
-		switch ip.Op {
-		case asm.OpBndCLMem, asm.OpBndCLReg:
-			if addr < b.Lo {
-				return t.fault(&Fault{Kind: FaultBounds, Addr: addr,
-					Msg: fmt.Sprintf("below %s.lower=%#x", ip.Bnd, b.Lo)})
+		case asm.OpJcc:
+			if t.condTrue(ip.Cond) {
+				nextPC = uint64(ip.Imm)
 			}
-		default:
-			if addr > b.Hi {
-				return t.fault(&Fault{Kind: FaultBounds, Addr: addr,
-					Msg: fmt.Sprintf("above %s.upper=%#x", ip.Bnd, b.Hi)})
+		case asm.OpJmpR:
+			nextPC = t.Regs[ip.Src]
+		case asm.OpCall:
+			if f := t.Push(nextPC); f != nil {
+				fault = f
+				break loop
 			}
-		}
+			cost = 2 + t.memCost(t.Regs[asm.RSP])
+			nextPC = uint64(ip.Imm)
+		case asm.OpICall:
+			if f := t.Push(nextPC); f != nil {
+				fault = f
+				break loop
+			}
+			cost = 2 + t.memCost(t.Regs[asm.RSP])
+			nextPC = t.Regs[ip.Src]
+		case asm.OpRet:
+			v, f := t.Pop()
+			if f != nil {
+				fault = f
+				break loop
+			}
+			cost = 2 + t.memCost(t.Regs[asm.RSP]-8)
+			nextPC = v
+		case asm.OpTrap:
+			fault = &Fault{Kind: FaultCFI, Msg: "trap"}
+			break loop
+		case asm.OpExit:
+			t.Halted = true
+			t.ExitCode = t.Regs[asm.RetReg]
+			t.PC = pc
+			cycles += cost
+			break loop
 
-	case asm.OpChkSP:
-		sp := t.Regs[asm.RSP]
-		if sp < t.StackLo || sp > t.StackHi {
-			return t.fault(&Fault{Kind: FaultStack, Addr: sp,
-				Msg: fmt.Sprintf("rsp outside [%#x,%#x]", t.StackLo, t.StackHi)})
-		}
+		case asm.OpBndCLMem, asm.OpBndCUMem, asm.OpBndCLReg, asm.OpBndCUReg:
+			t.Stats.BndChecks++
+			if t.fpCredit > 0 {
+				t.fpCredit--
+				t.Stats.BndMasked++
+				cost = 0
+			}
+			var addr uint64
+			switch ip.Op {
+			case asm.OpBndCLMem, asm.OpBndCUMem:
+				// As with lea, the check is on the raw address (no segment).
+				addr = t.ea(&ip.M, false)
+			default:
+				addr = t.Regs[ip.Src]
+			}
+			b := t.Bnd[ip.Bnd]
+			switch ip.Op {
+			case asm.OpBndCLMem, asm.OpBndCLReg:
+				if addr < b.Lo {
+					fault = &Fault{Kind: FaultBounds, Addr: addr,
+						Msg: fmt.Sprintf("below %s.lower=%#x", ip.Bnd, b.Lo)}
+					break loop
+				}
+			default:
+				if addr > b.Hi {
+					fault = &Fault{Kind: FaultBounds, Addr: addr,
+						Msg: fmt.Sprintf("above %s.upper=%#x", ip.Bnd, b.Hi)}
+					break loop
+				}
+			}
 
-	case asm.OpFLoad:
-		addr := t.ea(&ip.M, true)
-		v, f := m.Mem.Read(addr, 8)
-		if f != nil {
-			return t.fault(f)
-		}
-		t.FRegs[ip.FDst] = math.Float64frombits(v)
-		t.Stats.Loads++
-		cost += t.memCost(addr)
-		t.grantFPCredit()
-	case asm.OpFStore:
-		addr := t.ea(&ip.M, true)
-		if f := m.Mem.Write(addr, 8, math.Float64bits(t.FRegs[ip.FSrc])); f != nil {
-			return t.fault(f)
-		}
-		t.Stats.Stores++
-		cost += t.memCost(addr)
-		t.grantFPCredit()
-	case asm.OpFMovRR:
-		t.FRegs[ip.FDst] = t.FRegs[ip.FSrc]
-	case asm.OpFMovI:
-		t.FRegs[ip.FDst] = math.Float64frombits(uint64(ip.Imm))
-	case asm.OpFAdd:
-		t.FRegs[ip.FDst] += t.FRegs[ip.FSrc]
-		t.grantFPCredit()
-	case asm.OpFSub:
-		t.FRegs[ip.FDst] -= t.FRegs[ip.FSrc]
-		t.grantFPCredit()
-	case asm.OpFMul:
-		t.FRegs[ip.FDst] *= t.FRegs[ip.FSrc]
-		t.grantFPCredit()
-	case asm.OpFDiv:
-		t.FRegs[ip.FDst] /= t.FRegs[ip.FSrc]
-		cost = 12
-		t.grantFPCredit()
-	case asm.OpFMax:
-		if t.FRegs[ip.FSrc] > t.FRegs[ip.FDst] {
+		case asm.OpChkSP:
+			sp := t.Regs[asm.RSP]
+			if sp < t.StackLo || sp > t.StackHi {
+				fault = &Fault{Kind: FaultStack, Addr: sp,
+					Msg: fmt.Sprintf("rsp outside [%#x,%#x]", t.StackLo, t.StackHi)}
+				break loop
+			}
+
+		case asm.OpFLoad:
+			addr := t.ea(&ip.M, true)
+			v, f := m.Mem.Read(addr, 8)
+			if f != nil {
+				fault = f
+				break loop
+			}
+			t.FRegs[ip.FDst] = math.Float64frombits(v)
+			t.Stats.Loads++
+			cost += t.memCost(addr)
+			t.grantFPCredit()
+		case asm.OpFStore:
+			addr := t.ea(&ip.M, true)
+			if f := m.Mem.Write(addr, 8, math.Float64bits(t.FRegs[ip.FSrc])); f != nil {
+				fault = f
+				break loop
+			}
+			t.Stats.Stores++
+			cost += t.memCost(addr)
+			t.grantFPCredit()
+		case asm.OpFMovRR:
 			t.FRegs[ip.FDst] = t.FRegs[ip.FSrc]
-		}
-		t.grantFPCredit()
-	case asm.OpFCmp:
-		a, b := t.FRegs[ip.FDst], t.FRegs[ip.FSrc]
-		if math.IsNaN(a) || math.IsNaN(b) {
-			t.ZF, t.CF = true, true // x64 unordered result
-		} else {
-			t.ZF = a == b
-			t.CF = a < b
-		}
-		t.SF, t.OF = false, false
-		t.grantFPCredit()
-	case asm.OpCvtIF:
-		t.FRegs[ip.FDst] = float64(int64(t.Regs[ip.Src]))
-		cost = 2
-	case asm.OpCvtFI:
-		t.Regs[ip.Dst] = uint64(int64(t.FRegs[ip.FSrc]))
-		cost = 2
-	case asm.OpMovQIF:
-		t.FRegs[ip.FDst] = math.Float64frombits(t.Regs[ip.Src])
-	case asm.OpMovQFI:
-		t.Regs[ip.Dst] = math.Float64bits(t.FRegs[ip.FSrc])
+		case asm.OpFMovI:
+			t.FRegs[ip.FDst] = math.Float64frombits(uint64(ip.Imm))
+		case asm.OpFAdd:
+			t.FRegs[ip.FDst] += t.FRegs[ip.FSrc]
+			t.grantFPCredit()
+		case asm.OpFSub:
+			t.FRegs[ip.FDst] -= t.FRegs[ip.FSrc]
+			t.grantFPCredit()
+		case asm.OpFMul:
+			t.FRegs[ip.FDst] *= t.FRegs[ip.FSrc]
+			t.grantFPCredit()
+		case asm.OpFDiv:
+			t.FRegs[ip.FDst] /= t.FRegs[ip.FSrc]
+			cost = 12
+			t.grantFPCredit()
+		case asm.OpFMax:
+			if t.FRegs[ip.FSrc] > t.FRegs[ip.FDst] {
+				t.FRegs[ip.FDst] = t.FRegs[ip.FSrc]
+			}
+			t.grantFPCredit()
+		case asm.OpFCmp:
+			a, b := t.FRegs[ip.FDst], t.FRegs[ip.FSrc]
+			if math.IsNaN(a) || math.IsNaN(b) {
+				t.ZF, t.CF = true, true // x64 unordered result
+			} else {
+				t.ZF = a == b
+				t.CF = a < b
+			}
+			t.SF, t.OF = false, false
+			t.grantFPCredit()
+		case asm.OpCvtIF:
+			t.FRegs[ip.FDst] = float64(int64(t.Regs[ip.Src]))
+			cost = 2
+		case asm.OpCvtFI:
+			t.Regs[ip.Dst] = uint64(int64(t.FRegs[ip.FSrc]))
+			cost = 2
+		case asm.OpMovQIF:
+			t.FRegs[ip.FDst] = math.Float64frombits(t.Regs[ip.Src])
+		case asm.OpMovQFI:
+			t.Regs[ip.Dst] = math.Float64bits(t.FRegs[ip.FSrc])
 
-	case asm.OpWrFS:
-		t.FS = t.Regs[ip.Src]
-	case asm.OpWrGS:
-		t.GS = t.Regs[ip.Src]
-	case asm.OpSyscall:
-		return t.fault(&Fault{Kind: FaultPerm, Msg: "syscall from untrusted code"})
+		case asm.OpWrFS:
+			t.FS = t.Regs[ip.Src]
+		case asm.OpWrGS:
+			t.GS = t.Regs[ip.Src]
+		case asm.OpSyscall:
+			fault = &Fault{Kind: FaultPerm, Msg: "syscall from untrusted code"}
+			break loop
 
-	default:
-		return t.fault(&Fault{Kind: FaultDecode, Msg: "unimplemented opcode " + ip.Op.String()})
+		default:
+			fault = &Fault{Kind: FaultDecode, Msg: "unimplemented opcode " + ip.Op.String()}
+			break loop
+		}
+
+		cycles += cost
+		pc = nextPC
+		off = pc - tr.lo
 	}
 
-	t.Stats.Cycles += cost
-	t.PC = nextPC
-	return nil
+	t.Stats.Instrs = instrs
+	t.Stats.Cycles = cycles
+	if fault != nil {
+		t.PC = pc
+		return k, t.fault(fault)
+	}
+	if !t.Halted {
+		t.PC = pc
+	}
+	return k, nil
 }
 
 func (t *Thread) grantFPCredit() {
@@ -620,12 +705,23 @@ func (t *Thread) grantFPCredit() {
 	}
 }
 
+// quantum is the round-robin scheduling slice: how many instructions
+// (counting trusted-handler dispatches) each live thread executes before
+// yielding to the next. Both dispatch modes share it, so the thread
+// interleaving — and therefore every simulated result — is identical.
+const quantum = 1024
+
 // Run executes all live threads round-robin until every thread halts (or
-// one faults). It returns the first fault encountered, if any.
+// one faults). It returns the first fault encountered, if any. With
+// Conf.Superblocks set, dispatch is per basic block (see superblock.go);
+// otherwise one instruction at a time. The two modes are bit-identical in
+// every simulated outcome.
 func (m *Machine) Run() *Fault {
 	m.rebuildHandlerIndex()
 	m.fuel = m.Conf.DefaultFuel
-	const quantum = 1024
+	if m.Conf.Superblocks {
+		return m.runBlocks()
+	}
 	for {
 		live := false
 		for _, t := range m.Threads {
@@ -641,6 +737,47 @@ func (m *Machine) Run() *Fault {
 					}
 				}
 				if f := t.Step(); f != nil {
+					return f
+				}
+			}
+		}
+		if !live {
+			return nil
+		}
+	}
+}
+
+// runBlocks is Run's superblock mode: each thread's quantum is spent in
+// block-sized bites. The per-instruction fuel discipline is preserved
+// exactly: stepping mode charges one fuel unit per Step and faults
+// *before* the instruction that would consume the last unit, so with F
+// units exactly F-1 instructions execute. Here the bite is capped at
+// fuel-1 and the FaultFuel is raised when the tank is down to one unit.
+func (m *Machine) runBlocks() *Fault {
+	for {
+		live := false
+		for _, t := range m.Threads {
+			if t.Halted {
+				continue
+			}
+			live = true
+			for i := 0; i < quantum && !t.Halted; {
+				budget := quantum - i
+				if m.fuel > 0 {
+					if m.fuel == 1 {
+						m.fuel = 0
+						return t.fault(&Fault{Kind: FaultFuel})
+					}
+					if rem := m.fuel - 1; uint64(budget) > rem {
+						budget = int(rem)
+					}
+				}
+				n, f := t.stepBlocks(budget)
+				if m.fuel > 0 {
+					m.fuel -= uint64(n)
+				}
+				i += n
+				if f != nil {
 					return f
 				}
 			}

@@ -314,6 +314,46 @@ func (mem *Memory) WriteBytesUnchecked(addr uint64, src []byte) *Fault {
 	return nil
 }
 
+// Digest returns a deterministic FNV-1a hash of the allocated page
+// contents, keyed by page number. All-zero pages are skipped, so pages
+// that were lazily allocated but never written (e.g. by a read of fresh
+// memory) do not perturb the hash. The differential-execution tests use
+// this to compare whole address spaces across dispatch modes.
+func (mem *Memory) Digest() uint64 {
+	pns := make([]uint64, 0, len(mem.pages))
+	for pn := range mem.pages {
+		pns = append(pns, pn)
+	}
+	sort.Slice(pns, func(i, j int) bool { return pns[i] < pns[j] })
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, pn := range pns {
+		p := mem.pages[pn]
+		zero := true
+		for _, b := range p {
+			if b != 0 {
+				zero = false
+				break
+			}
+		}
+		if zero {
+			continue
+		}
+		for i := 0; i < 8; i++ {
+			h ^= (pn >> (8 * i)) & 0xFF
+			h *= prime64
+		}
+		for _, b := range p {
+			h ^= uint64(b)
+			h *= prime64
+		}
+	}
+	return h
+}
+
 func (mem *Memory) copyOut(addr uint64, dst []byte) {
 	for len(dst) > 0 {
 		p := mem.page(addr)

@@ -1,0 +1,147 @@
+package machine
+
+import (
+	"confllvm/internal/asm"
+)
+
+// Superblock execution: Run (with Conf.Superblocks) dispatches once per
+// basic block instead of once per instruction. A superblock is a maximal
+// run of straight-line decoded instructions ending at (and including) the
+// first terminator — any instruction that redirects or ends control flow.
+// Block interiors skip the per-instruction trusted-handler probe, the
+// PC-range gate against the decode trace, and the per-instruction PC and
+// counter write-backs; all of those are either hoisted to block entry or
+// deferred to block exit without changing any simulated result.
+//
+// Invalidation mirrors the decode traces themselves: patching code bytes
+// (Memory.WriteBytesUnchecked) flushes whole traces, blocks included. In
+// addition, blocks never span a PC inside the registered trusted-handler
+// address range [hndLo, hndHi] — per-instruction stepping probes the
+// handler map at every PC, so a block fused across a handler address
+// would skip a dispatch. rebuildHandlerIndex flushes all block metadata
+// whenever that range changes.
+
+// maxBlockLen caps a superblock at one scheduling quantum: longer blocks
+// would be split by the quantum budget anyway, and the cap keeps the
+// count comfortably inside the uint16 blocks slot.
+const maxBlockLen = quantum
+
+// blockEnd reports whether op terminates a superblock: the ops that set
+// the next PC non-sequentially, halt the thread, or unconditionally
+// fault. Faultable straight-line ops (loads, bound checks, division...)
+// stay in block interiors — execInsts delivers their faults with the
+// exact per-instruction PC and message.
+func blockEnd(op asm.Op) bool {
+	switch op {
+	case asm.OpJmp, asm.OpJcc, asm.OpJmpR, asm.OpCall, asm.OpICall,
+		asm.OpRet, asm.OpTrap, asm.OpExit, asm.OpSyscall:
+		return true
+	}
+	return false
+}
+
+// buildBlock decodes straight-line instructions from off up to and
+// including the first terminator, records the block length, and returns
+// it. A decode failure at off itself is the caller's fault to deliver; a
+// failure further in simply ends the block early — execution faults there
+// when, and only when, the PC actually reaches that slot, exactly as
+// per-instruction stepping would.
+func (tr *codeTrace) buildBlock(m *Machine, off uint64) (int, *Fault) {
+	n := 0
+	for o := off; ; {
+		ln := int(tr.lens[o])
+		if ln == 0 {
+			dn, err := asm.DecodeInto(&tr.insts[o], tr.code, int(o))
+			if err != nil {
+				if n == 0 {
+					return 0, &Fault{Kind: FaultDecode, Addr: tr.lo + o, Msg: err.Error()}
+				}
+				break
+			}
+			tr.lens[o] = uint8(dn)
+			ln = dn
+		}
+		n++
+		if blockEnd(tr.insts[o].Op) || n >= maxBlockLen {
+			break
+		}
+		o += uint64(ln)
+		if o >= tr.size {
+			// Straight-line code running off the region: the next dispatch
+			// faults on fetch, as stepping mode does.
+			break
+		}
+		if pc := tr.lo + o; pc >= m.hndLo && pc <= m.hndHi {
+			// The successor PC could be a trusted handler: end the block so
+			// the dispatcher re-probes the handler map there.
+			break
+		}
+	}
+	tr.blocks[off] = uint16(n)
+	return n, nil
+}
+
+// stepBlocks executes up to max instructions on t, a block at a time:
+// trusted-handler dispatches (each counting as one instruction, exactly
+// like a Step call), whole superblocks, and budget-capped block prefixes
+// when a quantum or fuel boundary lands mid-block — the remainder simply
+// becomes a new block entry at the interior PC. Returns the number of
+// instructions charged, including a faulting one.
+func (t *Thread) stepBlocks(max int) (int, *Fault) {
+	m := t.m
+	done := 0
+	for done < max && !t.Halted {
+		if len(m.Handlers) != m.nHandlers {
+			m.rebuildHandlerIndex()
+		}
+		if t.PC >= m.hndLo && t.PC <= m.hndHi {
+			if h, ok := m.Handlers[t.PC]; ok {
+				t.Stats.TrustedCall++
+				done++
+				if f := h(m, t); f != nil {
+					return done, t.fault(f)
+				}
+				continue
+			}
+		}
+		tr := m.lastTrace
+		if tr == nil || t.PC-tr.lo >= tr.size {
+			var f *Fault
+			if tr, f = m.traceFor(t.PC); f != nil {
+				return done, t.fault(f)
+			}
+			m.lastTrace = tr
+		}
+		off := t.PC - tr.lo
+		nb := int(tr.blocks[off])
+		if nb == 0 {
+			var f *Fault
+			if nb, f = tr.buildBlock(m, off); f != nil {
+				// The entry instruction is undecodable: the charge matches
+				// the Step call that would have faulted fetching it.
+				return done + 1, t.fault(f)
+			}
+		}
+		if rem := max - done; nb > rem {
+			nb = rem
+		}
+		n, f := t.execInsts(tr, off, nb)
+		done += n
+		if f != nil {
+			return done, f
+		}
+	}
+	return done, nil
+}
+
+// flushBlocks invalidates superblock metadata in every decode trace. The
+// decoded instructions are untouched: this is for events that move
+// dispatch points (handler-index changes), not code-byte patches — those
+// flush the traces wholesale.
+func (m *Machine) flushBlocks() {
+	for _, tr := range m.traces {
+		for i := range tr.blocks {
+			tr.blocks[i] = 0
+		}
+	}
+}

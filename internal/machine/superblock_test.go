@@ -1,0 +1,340 @@
+package machine
+
+import (
+	"testing"
+
+	"confllvm/internal/asm"
+)
+
+// buildFor encodes insts into a fresh machine with the standard test
+// layout, under the given config.
+func buildFor(t *testing.T, conf Config, insts []asm.Inst) (*Machine, *Thread) {
+	t.Helper()
+	m := New(conf)
+	var code []byte
+	for _, in := range insts {
+		code = asm.Encode(code, in)
+	}
+	code = asm.Encode(code, asm.Inst{Op: asm.OpExit})
+	if _, err := m.Mem.Map("code", 0x1000, 0x1000, PermR|PermX); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Mem.Map("data", 0x100000, 0x10000, PermR|PermW); err != nil {
+		t.Fatal(err)
+	}
+	if f := m.Mem.WriteBytesUnchecked(0x1000, code); f != nil {
+		t.Fatal(f)
+	}
+	th := m.NewThread(0x1000, 0x100000+0x8000, 0x100000, 0x100000+0x10000)
+	return m, th
+}
+
+// runParity runs the same instruction stream under both dispatch modes
+// and requires identical thread state, stats and memory.
+func runParity(t *testing.T, insts []asm.Inst) (*Thread, *Thread) {
+	t.Helper()
+	confA := DefaultConfig()
+	confA.Superblocks = false
+	confB := DefaultConfig()
+	confB.Superblocks = true
+
+	mA, thA := buildFor(t, confA, insts)
+	mB, thB := buildFor(t, confB, insts)
+	fA := mA.Run()
+	fB := mB.Run()
+	if (fA == nil) != (fB == nil) {
+		t.Fatalf("fault mismatch: stepwise=%v superblock=%v", fA, fB)
+	}
+	if fA != nil && *fA != *fB {
+		t.Fatalf("fault mismatch: stepwise=%+v superblock=%+v", *fA, *fB)
+	}
+	if thA.Regs != thB.Regs {
+		t.Fatalf("register mismatch:\nstepwise:   %v\nsuperblock: %v", thA.Regs, thB.Regs)
+	}
+	if thA.PC != thB.PC {
+		t.Fatalf("PC mismatch: stepwise=%#x superblock=%#x", thA.PC, thB.PC)
+	}
+	if thA.Stats != thB.Stats {
+		t.Fatalf("stats mismatch:\nstepwise:   %+v\nsuperblock: %+v", thA.Stats, thB.Stats)
+	}
+	if thA.ZF != thB.ZF || thA.SF != thB.SF || thA.CF != thB.CF || thA.OF != thB.OF {
+		t.Fatal("flag mismatch across dispatch modes")
+	}
+	if dA, dB := mA.Mem.Digest(), mB.Mem.Digest(); dA != dB {
+		t.Fatalf("memory digest mismatch: %#x vs %#x", dA, dB)
+	}
+	return thA, thB
+}
+
+// encodeLen returns the encoded length of one instruction.
+func encodeLen(in asm.Inst) int64 { return int64(len(asm.Encode(nil, in))) }
+
+func TestSuperblockParityLoop(t *testing.T) {
+	// Hand-lay a countdown loop with a store and a load in the body.
+	pre := []asm.Inst{
+		{Op: asm.OpMovRI, Dst: asm.RCX, Imm: 100},
+		{Op: asm.OpMovRI, Dst: asm.RDI, Imm: 0x100100},
+	}
+	var loopStart int64 = 0x1000
+	for _, in := range pre {
+		loopStart += encodeLen(in)
+	}
+	body := []asm.Inst{
+		{Op: asm.OpAddRR, Dst: asm.RAX, Src: asm.RCX},
+		{Op: asm.OpStore, M: asm.Mem{Base: asm.RDI, Index: asm.NoReg, Size: 8}, Src: asm.RAX},
+		{Op: asm.OpLoad, Dst: asm.RDX, M: asm.Mem{Base: asm.RDI, Index: asm.NoReg, Size: 8}},
+		{Op: asm.OpSubRI, Dst: asm.RCX, Imm: 1},
+		{Op: asm.OpCmpRI, Dst: asm.RCX, Imm: 0},
+		{Op: asm.OpJcc, Cond: asm.CondNE, Imm: loopStart},
+	}
+	thA, _ := runParity(t, append(pre, body...))
+	if thA.Regs[asm.RAX] != 5050 {
+		t.Fatalf("loop computed %d, want 5050", thA.Regs[asm.RAX])
+	}
+}
+
+func TestSuperblockParityFaults(t *testing.T) {
+	cases := []struct {
+		name  string
+		insts []asm.Inst
+		kind  FaultKind
+	}{
+		{"unmapped-load", []asm.Inst{
+			{Op: asm.OpMovRI, Dst: asm.RBX, Imm: 0x500000},
+			{Op: asm.OpLoad, Dst: asm.RAX, M: asm.Mem{Base: asm.RBX, Index: asm.NoReg, Size: 8}},
+		}, FaultUnmapped},
+		{"store-to-code", []asm.Inst{
+			{Op: asm.OpMovRI, Dst: asm.RBX, Imm: 0x1000},
+			{Op: asm.OpStore, M: asm.Mem{Base: asm.RBX, Index: asm.NoReg, Size: 8}, Src: asm.RAX},
+		}, FaultPerm},
+		{"divide-zero", []asm.Inst{
+			{Op: asm.OpMovRI, Dst: asm.RAX, Imm: 5},
+			{Op: asm.OpMovRI, Dst: asm.RBX, Imm: 0},
+			{Op: asm.OpDivRR, Dst: asm.RAX, Src: asm.RBX},
+		}, FaultDivide},
+		{"trap", []asm.Inst{
+			{Op: asm.OpMovRI, Dst: asm.RAX, Imm: 5},
+			{Op: asm.OpTrap},
+		}, FaultCFI},
+		{"nx-jump", []asm.Inst{
+			{Op: asm.OpMovRI, Dst: asm.RBX, Imm: 0x100000},
+			{Op: asm.OpJmpR, Src: asm.RBX},
+		}, FaultNX},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			thA, _ := runParity(t, c.insts)
+			if thA.Fault == nil || thA.Fault.Kind != c.kind {
+				t.Fatalf("want fault kind %d, got %v", c.kind, thA.Fault)
+			}
+		})
+	}
+}
+
+// TestDivideOverflowFaults: INT64_MIN / -1 (and % -1) overflows the
+// quotient; x64 raises #DE, and the interpreter must fault like the
+// modeled hardware rather than wrap like a host Go division.
+func TestDivideOverflowFaults(t *testing.T) {
+	for _, op := range []asm.Op{asm.OpDivRR, asm.OpModRR} {
+		thA, _ := runParity(t, []asm.Inst{
+			{Op: asm.OpMovRI, Dst: asm.RAX, Imm: -0x8000000000000000},
+			{Op: asm.OpMovRI, Dst: asm.RBX, Imm: -1},
+			{Op: op, Dst: asm.RAX, Src: asm.RBX},
+		})
+		if thA.Fault == nil || thA.Fault.Kind != FaultDivide {
+			t.Fatalf("%v: want divide fault, got %v", op, thA.Fault)
+		}
+	}
+}
+
+// TestRunFuelParity: the instruction budget must cut execution at the
+// same instruction in both dispatch modes, even when the boundary lands
+// in the middle of a superblock.
+func TestRunFuelParity(t *testing.T) {
+	loop := []asm.Inst{
+		{Op: asm.OpMovRI, Dst: asm.RCX, Imm: 1 << 40}, // effectively infinite
+	}
+	var loopStart int64 = 0x1000
+	for _, in := range loop {
+		loopStart += encodeLen(in)
+	}
+	loop = append(loop,
+		asm.Inst{Op: asm.OpAddRI, Dst: asm.RAX, Imm: 1},
+		asm.Inst{Op: asm.OpAddRI, Dst: asm.RBX, Imm: 3},
+		asm.Inst{Op: asm.OpSubRI, Dst: asm.RCX, Imm: 1},
+		asm.Inst{Op: asm.OpCmpRI, Dst: asm.RCX, Imm: 0},
+		asm.Inst{Op: asm.OpJcc, Cond: asm.CondNE, Imm: loopStart},
+	)
+	for _, fuel := range []uint64{1, 2, 7, 1023, 1024, 1025, 4097} {
+		confA := DefaultConfig()
+		confA.Superblocks = false
+		confA.DefaultFuel = fuel
+		confB := confA
+		confB.Superblocks = true
+
+		mA, thA := buildFor(t, confA, loop)
+		mB, thB := buildFor(t, confB, loop)
+		fA, fB := mA.Run(), mB.Run()
+		if fA == nil || fB == nil || fA.Kind != FaultFuel || fB.Kind != FaultFuel {
+			t.Fatalf("fuel=%d: want fuel faults, got %v / %v", fuel, fA, fB)
+		}
+		if *fA != *fB {
+			t.Fatalf("fuel=%d: fault mismatch %+v vs %+v", fuel, *fA, *fB)
+		}
+		if thA.Stats != thB.Stats {
+			t.Fatalf("fuel=%d: stats mismatch %+v vs %+v", fuel, thA.Stats, thB.Stats)
+		}
+		if thA.Stats.Instrs != fuel-1 {
+			t.Fatalf("fuel=%d: executed %d instrs, want %d", fuel, thA.Stats.Instrs, fuel-1)
+		}
+		if thA.PC != thB.PC || thA.Regs != thB.Regs {
+			t.Fatalf("fuel=%d: state mismatch at cutoff", fuel)
+		}
+	}
+}
+
+// TestSuperblockHandlerInvalidation: registering a trusted handler at a PC
+// in the middle of already-fused straight-line code must re-split the
+// blocks so the handler is dispatched, exactly as per-instruction
+// stepping would.
+func TestSuperblockHandlerInvalidation(t *testing.T) {
+	insts := []asm.Inst{
+		{Op: asm.OpMovRI, Dst: asm.RAX, Imm: 1},
+		{Op: asm.OpMovRI, Dst: asm.RBX, Imm: 2},
+		{Op: asm.OpMovRI, Dst: asm.RDX, Imm: 3},
+	}
+	conf := DefaultConfig()
+	m, th := buildFor(t, conf, insts)
+	// First run fuses the whole body into one superblock.
+	if f := m.Run(); f != nil {
+		t.Fatal(f)
+	}
+	if th.Regs[asm.RDX] != 3 {
+		t.Fatalf("rdx=%d, want 3", th.Regs[asm.RDX])
+	}
+
+	// Install a handler at the third instruction's PC: stepping mode would
+	// dispatch it instead of executing the mov.
+	hpc := uint64(0x1000) + uint64(2*encodeLen(insts[0]))
+	exitPC := uint64(0x1000)
+	for _, in := range insts {
+		exitPC += uint64(encodeLen(in))
+	}
+	called := false
+	m.Handlers[hpc] = func(m *Machine, t *Thread) *Fault {
+		called = true
+		t.Regs[asm.RDX] = 99
+		t.PC = exitPC // resume at the trailing exit
+		return nil
+	}
+
+	th.Halted = false
+	th.PC = 0x1000
+	th.Regs = [asm.NumRegs]uint64{}
+	if f := m.Run(); f != nil {
+		t.Fatal(f)
+	}
+	if !called {
+		t.Fatal("handler inside a fused block was not dispatched after re-registration")
+	}
+	if th.Regs[asm.RDX] != 99 {
+		t.Fatalf("rdx=%d, want 99 (handler result)", th.Regs[asm.RDX])
+	}
+}
+
+// TestSuperblockCodePatchInvalidation: patching code bytes must flush
+// superblocks along with the decode traces.
+func TestSuperblockCodePatchInvalidation(t *testing.T) {
+	insts := []asm.Inst{{Op: asm.OpMovRI, Dst: asm.RAX, Imm: 1}}
+	m, th := buildFor(t, DefaultConfig(), insts)
+	if f := m.Run(); f != nil {
+		t.Fatal(f)
+	}
+	if th.Regs[asm.RAX] != 1 {
+		t.Fatalf("rax=%d, want 1", th.Regs[asm.RAX])
+	}
+
+	var patched []byte
+	patched = asm.Encode(patched, asm.Inst{Op: asm.OpMovRI, Dst: asm.RAX, Imm: 2})
+	patched = asm.Encode(patched, asm.Inst{Op: asm.OpExit})
+	if f := m.Mem.WriteBytesUnchecked(0x1000, patched); f != nil {
+		t.Fatal(f)
+	}
+	th.Halted = false
+	th.PC = 0x1000
+	if f := m.Run(); f != nil {
+		t.Fatal(f)
+	}
+	if th.Regs[asm.RAX] != 2 {
+		t.Fatalf("rax=%d after code patch, want 2 (stale superblock executed)", th.Regs[asm.RAX])
+	}
+}
+
+// TestSuperblockQuantumInterleaving: with multiple threads, the
+// round-robin interleaving (quantum granularity) must not change with
+// dispatch mode — both threads' stats and the shared memory must agree.
+func TestSuperblockQuantumInterleaving(t *testing.T) {
+	// Two threads increment and read a shared counter; the final counter
+	// and each thread's observed values depend on the interleaving.
+	mk := func(superblocks bool) (*Machine, *Thread, *Thread) {
+		conf := DefaultConfig()
+		conf.Superblocks = superblocks
+		m := New(conf)
+		var code []byte
+		loopStart := int64(0x1000) + encodeLen(asm.Inst{Op: asm.OpMovRI, Dst: asm.RCX, Imm: 3000}) +
+			encodeLen(asm.Inst{Op: asm.OpMovRI, Dst: asm.RDI, Imm: 0x100100})
+		for _, in := range []asm.Inst{
+			{Op: asm.OpMovRI, Dst: asm.RCX, Imm: 3000},
+			{Op: asm.OpMovRI, Dst: asm.RDI, Imm: 0x100100},
+			// loop:
+			{Op: asm.OpLoad, Dst: asm.RAX, M: asm.Mem{Base: asm.RDI, Index: asm.NoReg, Size: 8}},
+			{Op: asm.OpAddRI, Dst: asm.RAX, Imm: 1},
+			{Op: asm.OpStore, M: asm.Mem{Base: asm.RDI, Index: asm.NoReg, Size: 8}, Src: asm.RAX},
+			{Op: asm.OpAddRR, Dst: asm.RSI, Src: asm.RAX}, // interleaving-sensitive
+			{Op: asm.OpSubRI, Dst: asm.RCX, Imm: 1},
+			{Op: asm.OpCmpRI, Dst: asm.RCX, Imm: 0},
+			{Op: asm.OpJcc, Cond: asm.CondNE, Imm: loopStart},
+			{Op: asm.OpExit},
+		} {
+			code = asm.Encode(code, in)
+		}
+		if _, err := m.Mem.Map("code", 0x1000, 0x1000, PermR|PermX); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Mem.Map("data", 0x100000, 0x10000, PermR|PermW); err != nil {
+			t.Fatal(err)
+		}
+		if f := m.Mem.WriteBytesUnchecked(0x1000, code); f != nil {
+			t.Fatal(f)
+		}
+		t0 := m.NewThread(0x1000, 0x100000+0x4000, 0x100000, 0x100000+0x8000)
+		t1 := m.NewThread(0x1000, 0x100000+0x8000, 0x100000, 0x100000+0x10000)
+		return m, t0, t1
+	}
+	mA, a0, a1 := mk(false)
+	mB, b0, b1 := mk(true)
+	if f := mA.Run(); f != nil {
+		t.Fatal(f)
+	}
+	if f := mB.Run(); f != nil {
+		t.Fatal(f)
+	}
+	if a0.Regs[asm.RSI] != b0.Regs[asm.RSI] || a1.Regs[asm.RSI] != b1.Regs[asm.RSI] {
+		t.Fatalf("interleaving-sensitive sums differ: (%d,%d) vs (%d,%d)",
+			a0.Regs[asm.RSI], a1.Regs[asm.RSI], b0.Regs[asm.RSI], b1.Regs[asm.RSI])
+	}
+	if a0.Stats != b0.Stats || a1.Stats != b1.Stats {
+		t.Fatal("per-thread stats differ across dispatch modes")
+	}
+	if mA.Mem.Digest() != mB.Mem.Digest() {
+		t.Fatal("shared memory differs across dispatch modes")
+	}
+	// The exact counter value depends on lost updates at quantum
+	// boundaries — which is precisely the scheduler-sensitive behavior the
+	// two modes must agree on (the digest check above covers the value);
+	// it must at least reflect one thread's worth of increments.
+	v, f := mA.Mem.Read(0x100100, 8)
+	if f != nil || v < 3000 {
+		t.Fatalf("shared counter = %d (%v), want >= 3000", v, f)
+	}
+}

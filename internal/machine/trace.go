@@ -27,15 +27,22 @@ type codeTrace struct {
 	// length of the instruction starting at lo+off.
 	insts []asm.Inst
 	lens  []uint8
+
+	// blocks[off] is the instruction count of the superblock entered at
+	// lo+off (0 = not yet built); see superblock.go. Blocks share the
+	// trace's lifetime — a flushed trace takes its blocks with it — and
+	// are additionally flushed when the trusted-handler index changes.
+	blocks []uint16
 }
 
 func newCodeTrace(mem *Memory, r *Region) *codeTrace {
 	tr := &codeTrace{
-		lo:    r.Lo,
-		size:  r.Size,
-		code:  make([]byte, r.Size),
-		insts: make([]asm.Inst, r.Size),
-		lens:  make([]uint8, r.Size),
+		lo:     r.Lo,
+		size:   r.Size,
+		code:   make([]byte, r.Size),
+		insts:  make([]asm.Inst, r.Size),
+		lens:   make([]uint8, r.Size),
+		blocks: make([]uint16, r.Size),
 	}
 	mem.copyOut(r.Lo, tr.code)
 	return tr
