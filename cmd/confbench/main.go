@@ -3,8 +3,19 @@
 //
 // Usage:
 //
-//	confbench [-figure all|5|6|7|8|ldap|interp] [-superblocks=true|false]
+//	confbench [-figure all|5|6|7|8|ldap|throughput|interp]
+//	          [-superblocks=true|false] [-parallel N]
 //	          [-json] [-out BENCH_interp.json]
+//
+// Every (figure, workload, variant) cell is an independent simulation —
+// its own compiled artifact and its own machine.Machine — so the whole
+// matrix is scheduled across a worker pool (-parallel, default
+// GOMAXPROCS) and the tables are assembled from the results in input
+// order: the printed figure tables are byte-identical between -parallel=1
+// and any parallel run, because every table cell is a simulated quantity.
+// Only the interp sweep measures host time; its cells are pinned to a
+// serial lane that runs after the pool drains, so MIPS numbers always
+// come from a quiet host.
 //
 // With -json, every measurement (simulated wall cycles, instruction count,
 // host run time, interpreter MIPS) is also written to a JSON file so later
@@ -23,6 +34,8 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"runtime"
+	"sync"
 	"time"
 
 	"confllvm"
@@ -32,7 +45,11 @@ import (
 
 // benchRow is one (figure, workload, variant) measurement in the JSON
 // report. Variant is a confllvm configuration name, or a dispatch mode
-// ("superblock"/"stepwise") for the interp figure.
+// ("superblock"/"stepwise") for the interp figure. host_ns/mips are only
+// quiet-host measurements for interp rows (their cells run in the serial
+// lane); figure-table rows run concurrently when parallel > 1, so their
+// host times are contended — compare them across reports only at equal
+// "parallel" settings, or rely on the interp rows for the trajectory.
 type benchRow struct {
 	Figure     string  `json:"figure"`
 	Workload   string  `json:"workload"`
@@ -50,22 +67,36 @@ type benchReport struct {
 	// mistaken for a full-suite trajectory point.
 	FigureFilter string `json:"figure_filter"`
 	// Superblocks records the dispatch mode of the figure-table runs.
-	Superblocks bool       `json:"superblocks"`
-	TotalInstrs uint64     `json:"total_instrs"`
-	TotalHostNS int64      `json:"total_host_ns"`
-	MIPS        float64    `json:"mips"` // aggregate simulated instructions/sec, in millions
+	Superblocks bool `json:"superblocks"`
+	// Parallel is the worker count the matrix ran with.
+	Parallel    int    `json:"parallel"`
+	TotalInstrs uint64 `json:"total_instrs"`
+	// TotalHostNS sums per-cell host time. With concurrent cells this is
+	// aggregate CPU time, not elapsed time — dividing instructions by it
+	// would overstate nothing but understate parallel speedup; the honest
+	// throughput denominator is SuiteWallNS.
+	TotalHostNS int64 `json:"total_host_ns"`
+	// SuiteWallNS is the true elapsed time of the whole matrix run.
+	SuiteWallNS int64      `json:"suite_wall_ns"`
+	MIPS        float64    `json:"mips"` // TotalInstrs / SuiteWallNS, in millions/sec
 	Rows        []benchRow `json:"rows"`
 }
 
 var (
-	report *benchReport
+	reportMu sync.Mutex
+	report   *benchReport
 	// mcfg is the machine configuration used for the figure tables,
 	// controlled by -superblocks.
 	mcfg machine.Config
 )
 
 // record adds a measurement to the JSON report (no-op without -json).
+// It is mutex-guarded so figures may record from any goroutine; row
+// order is nevertheless deterministic because renders run sequentially
+// over matrix results that are already in input order.
 func record(figure, workload, variant string, m *bench.Measurement) {
+	reportMu.Lock()
+	defer reportMu.Unlock()
 	if report == nil {
 		return
 	}
@@ -78,9 +109,21 @@ func record(figure, workload, variant string, m *bench.Measurement) {
 	})
 }
 
+// renderFn consumes a figure's slice of the matrix results (in cell
+// order) and prints its table.
+type renderFn func([]bench.CellResult) error
+
+// figureSpec is one figure: build returns the figure's cells plus the
+// render that assembles them once the matrix has run.
+type figureSpec struct {
+	name  string
+	build func() ([]bench.Cell, renderFn)
+}
+
 func main() {
-	figure := flag.String("figure", "all", "which figure to regenerate: all, 5, 6, 7, 8, ldap, interp")
+	figure := flag.String("figure", "all", "which figure to regenerate: all, 5, 6, 7, 8, ldap, throughput, interp")
 	superblocks := flag.Bool("superblocks", true, "dispatch basic blocks (false = per-instruction stepping)")
+	parallel := flag.Int("parallel", 0, "worker goroutines for the bench matrix (0 = GOMAXPROCS, 1 = serial)")
 	jsonOut := flag.Bool("json", false, "also write a JSON perf report")
 	outPath := flag.String("out", "BENCH_interp.json", "path of the JSON report (with -json)")
 	flag.Parse()
@@ -88,11 +131,17 @@ func main() {
 	mcfg = machine.DefaultConfig()
 	mcfg.Superblocks = *superblocks
 
+	workers := *parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
 	if *jsonOut {
 		report = &benchReport{
 			GeneratedAt:  time.Now().UTC().Format(time.RFC3339),
 			FigureFilter: *figure,
 			Superblocks:  *superblocks,
+			Parallel:     workers,
 		}
 		if *figure != "all" && *outPath == "BENCH_interp.json" {
 			fmt.Fprintf(os.Stderr, "confbench: note: partial run (-figure %s) writing the default %s; "+
@@ -100,25 +149,50 @@ func main() {
 		}
 	}
 
-	run := func(name string, fn func() error) {
-		if *figure != "all" && *figure != name {
-			return
+	figures := []figureSpec{
+		{"5", fig5}, {"6", fig6}, {"ldap", ldap}, {"7", fig7}, {"8", fig8},
+		{"throughput", throughput}, {"interp", interp},
+	}
+
+	// Build the combined cell matrix for the selected figures, remembering
+	// each figure's slice so renders run in figure order afterwards.
+	var cells []bench.Cell
+	type pending struct {
+		name   string
+		lo, hi int
+		render renderFn
+	}
+	var pend []pending
+	known := false
+	for _, f := range figures {
+		if *figure != "all" && *figure != f.name {
+			continue
 		}
-		if err := fn(); err != nil {
-			fmt.Fprintf(os.Stderr, "confbench: figure %s: %v\n", name, err)
+		known = true
+		cs, render := f.build()
+		pend = append(pend, pending{f.name, len(cells), len(cells) + len(cs), render})
+		cells = append(cells, cs...)
+	}
+	if !known {
+		fmt.Fprintf(os.Stderr, "confbench: unknown figure %q (want all, 5, 6, 7, 8, ldap, throughput, interp)\n", *figure)
+		os.Exit(2)
+	}
+
+	start := time.Now()
+	results := bench.RunMatrix(cells, workers)
+	suiteWall := time.Since(start)
+
+	for _, p := range pend {
+		if err := p.render(results[p.lo:p.hi]); err != nil {
+			fmt.Fprintf(os.Stderr, "confbench: figure %s: %v\n", p.name, err)
 			os.Exit(1)
 		}
 	}
-	run("5", fig5)
-	run("6", fig6)
-	run("ldap", ldap)
-	run("7", fig7)
-	run("8", fig8)
-	run("interp", interp)
 
 	if report != nil {
-		if report.TotalHostNS > 0 {
-			report.MIPS = float64(report.TotalInstrs) / 1e6 / (float64(report.TotalHostNS) / 1e9)
+		report.SuiteWallNS = suiteWall.Nanoseconds()
+		if report.SuiteWallNS > 0 {
+			report.MIPS = float64(report.TotalInstrs) / 1e6 / (float64(report.SuiteWallNS) / 1e9)
 		}
 		data, err := json.MarshalIndent(report, "", "  ")
 		if err != nil {
@@ -130,146 +204,235 @@ func main() {
 			fmt.Fprintf(os.Stderr, "confbench: write report: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Printf("wrote %s (%d rows, interpreter throughput %.1f MIPS)\n",
-			*outPath, len(report.Rows), report.MIPS)
+		fmt.Printf("wrote %s (%d rows, %d workers, suite throughput %.1f MIPS)\n",
+			*outPath, len(report.Rows), workers, report.MIPS)
 	}
 }
 
-func fig5() error {
-	cols := []confllvm.Variant{confllvm.VariantBase, confllvm.VariantBaseOA,
-		confllvm.VariantBare, confllvm.VariantCFI, confllvm.VariantMPX, confllvm.VariantSeg}
-	tbl := bench.NewTable("Figure 5: SPEC CPU 2006 execution time (% of Base)", cols, "cyc")
-	for _, k := range bench.SPECKernels() {
-		wl := bench.SPECWorkload(k, k.Params)
+// tableRow is one figure-table row: its name, workload, and the Wall
+// divisor for the table cell (0 = absolute cycles).
+type tableRow struct {
+	name  string
+	wl    bench.Workload
+	scale uint64
+}
+
+// tableCells builds the cross product of rows x cols for one figure.
+func tableCells(figure string, rows []tableRow, cols []confllvm.Variant) []bench.Cell {
+	var cells []bench.Cell
+	for _, r := range rows {
 		for _, v := range cols {
-			m, err := wl.Run(v, &mcfg)
-			if err != nil {
-				return err
-			}
-			tbl.Set(k.Name, v, m.Wall)
-			record("fig5", k.Name, v.String(), m)
+			cells = append(cells, bench.Cell{
+				Figure: figure, Row: r.name, Workload: r.wl,
+				Variant: v, Conf: &mcfg, Scale: r.scale,
+			})
 		}
 	}
+	return cells
+}
+
+// renderTable fills tbl from results and records the JSON rows. value
+// converts a measurement into the table cell; nil selects the default
+// (Wall, divided by the cell's Scale).
+func renderTable(figure string, tbl *bench.Table, results []bench.CellResult,
+	value func(bench.CellResult) uint64) error {
+	if value == nil {
+		value = func(r bench.CellResult) uint64 {
+			v := r.M.Wall
+			if r.Cell.Scale > 1 {
+				v /= r.Cell.Scale
+			}
+			return v
+		}
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			return r.Err
+		}
+		tbl.Set(r.Cell.Row, r.Cell.Variant, value(r))
+		record(figure, r.Cell.Row, r.Cell.Variant.String(), r.M)
+	}
 	fmt.Println(tbl)
-	fmt.Printf("geomean overheads: CFI=%.1f%%  MPX=%.1f%%  Seg=%.1f%%\n\n",
-		tbl.GeoMeanOverhead(confllvm.VariantCFI),
-		tbl.GeoMeanOverhead(confllvm.VariantMPX),
-		tbl.GeoMeanOverhead(confllvm.VariantSeg))
 	return nil
 }
 
-func fig6() error {
+// printGeomeans prints the CFI/MPX/Seg geomean-overhead line fig5 and
+// the throughput table share.
+func printGeomeans(prefix string, tbl *bench.Table) {
+	fmt.Printf("%s: CFI=%.1f%%  MPX=%.1f%%  Seg=%.1f%%\n\n", prefix,
+		tbl.GeoMeanOverhead(confllvm.VariantCFI),
+		tbl.GeoMeanOverhead(confllvm.VariantMPX),
+		tbl.GeoMeanOverhead(confllvm.VariantSeg))
+}
+
+func fig5() ([]bench.Cell, renderFn) {
+	cols := []confllvm.Variant{confllvm.VariantBase, confllvm.VariantBaseOA,
+		confllvm.VariantBare, confllvm.VariantCFI, confllvm.VariantMPX, confllvm.VariantSeg}
+	tbl := bench.NewTable("Figure 5: SPEC CPU 2006 execution time (% of Base)", cols, "cyc")
+	var rows []tableRow
+	for _, k := range bench.SPECKernels() {
+		rows = append(rows, tableRow{k.Name, bench.SPECWorkload(k, k.Params), 0})
+	}
+	render := func(results []bench.CellResult) error {
+		if err := renderTable("fig5", tbl, results, nil); err != nil {
+			return err
+		}
+		printGeomeans("geomean overheads", tbl)
+		return nil
+	}
+	return tableCells("fig5", rows, cols), render
+}
+
+func fig6() ([]bench.Cell, renderFn) {
 	cols := []confllvm.Variant{confllvm.VariantBase, confllvm.VariantOneMem,
 		confllvm.VariantBare, confllvm.VariantCFI, confllvm.VariantMPXSep, confllvm.VariantMPX}
 	tbl := bench.NewTable("Figure 6: NGINX cycles per request (% of Base)", cols, "cyc/req")
 	const reqs = 32
+	var rows []tableRow
 	for _, kb := range []int{0, 1, 2, 5, 10, 20, 40} {
-		wl := bench.WebWorkload(reqs, kb*1024)
-		for _, v := range cols {
-			m, err := wl.Run(v, &mcfg)
-			if err != nil {
-				return err
-			}
-			tbl.Set(fmt.Sprintf("resp-%02dKB", kb), v, m.Wall/uint64(reqs))
-			record("fig6", fmt.Sprintf("resp-%02dKB", kb), v.String(), m)
-		}
+		rows = append(rows, tableRow{fmt.Sprintf("resp-%02dKB", kb),
+			bench.WebWorkload(reqs, kb*1024), reqs})
 	}
-	fmt.Println(tbl)
-	return nil
+	render := func(results []bench.CellResult) error {
+		return renderTable("fig6", tbl, results, nil)
+	}
+	return tableCells("fig6", rows, cols), render
 }
 
-func ldap() error {
+func ldap() ([]bench.Cell, renderFn) {
 	cols := []confllvm.Variant{confllvm.VariantBase, confllvm.VariantMPX}
 	tbl := bench.NewTable("Section 7.3: OpenLDAP cycles per query (% of Base)", cols, "cyc/q")
 	const queries = 2000
-	for _, mode := range []struct {
-		name string
-		miss int
-	}{{"query-miss", 100}, {"query-hit", 0}} {
-		wl := bench.LDAPWorkload(queries, mode.miss)
-		for _, v := range cols {
-			m, err := wl.Run(v, &mcfg)
-			if err != nil {
-				return err
-			}
-			tbl.Set(mode.name, v, m.Wall/queries)
-			record("ldap", mode.name, v.String(), m)
-		}
+	rows := []tableRow{
+		{"query-miss", bench.LDAPWorkload(queries, 100), queries},
+		{"query-hit", bench.LDAPWorkload(queries, 0), queries},
 	}
-	fmt.Println(tbl)
-	return nil
+	render := func(results []bench.CellResult) error {
+		return renderTable("ldap", tbl, results, nil)
+	}
+	return tableCells("ldap", rows, cols), render
 }
 
-func fig7() error {
+func fig7() ([]bench.Cell, renderFn) {
 	cols := []confllvm.Variant{confllvm.VariantBase, confllvm.VariantBaseOA,
 		confllvm.VariantBare, confllvm.VariantCFI, confllvm.VariantMPX}
 	tbl := bench.NewTable("Figure 7: Privado classification latency (% of Base)", cols, "cyc/img")
 	const images = 4
-	wl := bench.ClassifierWorkload(images)
-	for _, v := range cols {
-		m, err := wl.Run(v, &mcfg)
+	rows := []tableRow{{"classify", bench.ClassifierWorkload(images), images}}
+	render := func(results []bench.CellResult) error {
+		return renderTable("fig7", tbl, results, nil)
+	}
+	return tableCells("fig7", rows, cols), render
+}
+
+func fig8() ([]bench.Cell, renderFn) {
+	cols := []confllvm.Variant{confllvm.VariantBase, confllvm.VariantSeg, confllvm.VariantMPX}
+	tbl := bench.NewTable("Figure 8: Merkle-FS parallel read, total time (% of Base)", cols, "cyc")
+	var rows []tableRow
+	for _, n := range []int{1, 2, 3, 4, 5, 6} {
+		rows = append(rows, tableRow{fmt.Sprintf("%d-threads", n),
+			bench.MerkleWorkload(256, n), 0})
+	}
+	render := func(results []bench.CellResult) error {
+		return renderTable("fig8", tbl, results, nil)
+	}
+	return tableCells("fig8", rows, cols), render
+}
+
+// throughput is the scaled-traffic table the parallel matrix makes
+// affordable: the webserver and LDAP drivers at 10x the request counts
+// of their figure runs, reported as requests per second at the
+// simulated clock (bench.SimClockHz). Cells are simulated quantities, so
+// the table is deterministic and parallel-safe.
+func throughput() ([]bench.Cell, renderFn) {
+	cols := []confllvm.Variant{confllvm.VariantBase, confllvm.VariantCFI,
+		confllvm.VariantMPX, confllvm.VariantSeg}
+	tbl := bench.NewTable(
+		fmt.Sprintf("Throughput: sustained requests/sec at a %.1f GHz simulated clock (%% of Base)",
+			float64(bench.SimClockHz)/1e9), cols, "req/s")
+	tbl.HigherIsBetter = true
+	const webReqs = 320       // 10x the Figure 6 run
+	const ldapQueries = 20000 // 10x the §7.3 run
+	rows := []tableRow{
+		{"web-2KB", bench.WebWorkload(webReqs, 2*1024), webReqs},
+		{"web-10KB", bench.WebWorkload(webReqs, 10*1024), webReqs},
+		{"ldap-hit", bench.LDAPWorkload(ldapQueries, 0), ldapQueries},
+		{"ldap-miss", bench.LDAPWorkload(ldapQueries, 100), ldapQueries},
+	}
+	render := func(results []bench.CellResult) error {
+		err := renderTable("throughput", tbl, results, func(r bench.CellResult) uint64 {
+			return bench.ReqsPerSec(r.Cell.Scale, r.M.Wall)
+		})
 		if err != nil {
 			return err
 		}
-		tbl.Set("classify", v, m.Wall/images)
-		record("fig7", "classify", v.String(), m)
+		printGeomeans("geomean throughput overheads", tbl)
+		return nil
 	}
-	fmt.Println(tbl)
-	return nil
-}
-
-func fig8() error {
-	cols := []confllvm.Variant{confllvm.VariantBase, confllvm.VariantSeg, confllvm.VariantMPX}
-	tbl := bench.NewTable("Figure 8: Merkle-FS parallel read, total time (% of Base)", cols, "cyc")
-	for _, n := range []int{1, 2, 3, 4, 5, 6} {
-		wl := bench.MerkleWorkload(256, n)
-		for _, v := range cols {
-			m, err := wl.Run(v, &mcfg)
-			if err != nil {
-				return err
-			}
-			tbl.Set(fmt.Sprintf("%d-threads", n), v, m.Wall)
-			record("fig8", fmt.Sprintf("%d-threads", n), v.String(), m)
-		}
-	}
-	fmt.Println(tbl)
-	return nil
+	return tableCells("throughput", rows, cols), render
 }
 
 // interp sweeps every workload with superblock dispatch on and off under
 // OurMPX: simulated cycles must agree exactly (a runtime re-check of the
 // determinism invariant) and the MIPS ratio is the dispatch speedup.
-// These rows are the BENCH_interp.json trajectory datapoints.
-func interp() error {
-	fmt.Println("Interpreter dispatch: superblock vs per-instruction stepping (OurMPX)")
-	fmt.Printf("%-16s %12s %12s %9s\n", "workload", "step MIPS", "block MIPS", "speedup")
+// These rows are the BENCH_interp.json trajectory datapoints. The cells
+// are Serial — MIPS is a host-time measurement — so they run one at a
+// time after the parallel lane drains; only their compilation shares the
+// pool.
+func interp() ([]bench.Cell, renderFn) {
 	const v = confllvm.VariantMPX
 	stepConf := machine.DefaultConfig()
 	stepConf.Superblocks = false
 	blockConf := machine.DefaultConfig()
 	blockConf.Superblocks = true
-	var geo float64
-	var n int
-	for _, wl := range bench.Workloads(false) {
-		ms, err := wl.Run(v, &stepConf)
-		if err != nil {
-			return err
-		}
-		mb, err := wl.Run(v, &blockConf)
-		if err != nil {
-			return err
-		}
-		if ms.Wall != mb.Wall || ms.Stats != mb.Stats {
-			return fmt.Errorf("%s: dispatch modes disagree (stepwise %d cycles, superblock %d cycles)",
-				wl.Name, ms.Wall, mb.Wall)
-		}
-		speedup := mb.MIPS() / ms.MIPS()
-		fmt.Printf("%-16s %12.1f %12.1f %8.2fx\n", wl.Name, ms.MIPS(), mb.MIPS(), speedup)
-		record("interp", wl.Name, "stepwise", ms)
-		record("interp", wl.Name, "superblock", mb)
-		geo += math.Log(speedup)
-		n++
+	wls := bench.Workloads(false)
+	var cells []bench.Cell
+	for _, wl := range wls {
+		cells = append(cells,
+			bench.Cell{Figure: "interp", Row: wl.Name, Label: "stepwise",
+				Workload: wl, Variant: v, Conf: &stepConf, Serial: true},
+			bench.Cell{Figure: "interp", Row: wl.Name, Label: "superblock",
+				Workload: wl, Variant: v, Conf: &blockConf, Serial: true},
+		)
 	}
-	fmt.Printf("%-16s %25s %8.2fx\n\n", "geomean", "", math.Exp(geo/float64(n)))
-	return nil
+	render := func(results []bench.CellResult) error {
+		fmt.Println("Interpreter dispatch: superblock vs per-instruction stepping (OurMPX)")
+		fmt.Printf("%-16s %12s %12s %9s\n", "workload", "step MIPS", "block MIPS", "speedup")
+		var geo float64
+		var n int
+		for i := 0; i+1 < len(results); i += 2 {
+			ms, mb := results[i], results[i+1]
+			if ms.Err != nil {
+				return ms.Err
+			}
+			if mb.Err != nil {
+				return mb.Err
+			}
+			name := ms.Cell.Row
+			if ms.M.Wall != mb.M.Wall || ms.M.Stats != mb.M.Stats {
+				return fmt.Errorf("%s: dispatch modes disagree (stepwise %d cycles, superblock %d cycles)",
+					name, ms.M.Wall, mb.M.Wall)
+			}
+			record("interp", name, "stepwise", ms.M)
+			record("interp", name, "superblock", mb.M)
+			// A sub-clock-resolution run has HostNS == 0 and MIPS == 0;
+			// dividing would poison the geomean with +Inf/NaN. Skip
+			// untimed cells instead.
+			if ms.M.MIPS() <= 0 || mb.M.MIPS() <= 0 {
+				fmt.Printf("%-16s %12s %12s %9s\n", name, "-", "-", "untimed")
+				continue
+			}
+			speedup := mb.M.MIPS() / ms.M.MIPS()
+			fmt.Printf("%-16s %12.1f %12.1f %8.2fx\n", name, ms.M.MIPS(), mb.M.MIPS(), speedup)
+			geo += math.Log(speedup)
+			n++
+		}
+		if n > 0 {
+			fmt.Printf("%-16s %25s %8.2fx\n\n", "geomean", "", math.Exp(geo/float64(n)))
+		} else {
+			fmt.Printf("%-16s %25s %9s\n\n", "geomean", "", "untimed")
+		}
+		return nil
+	}
+	return cells, render
 }

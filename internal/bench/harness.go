@@ -33,6 +33,21 @@ func (m *Measurement) MIPS() float64 {
 	return float64(m.Stats.Instrs) / 1e6 / (float64(m.HostNS) / 1e9)
 }
 
+// SimClockHz is the nominal clock used to convert simulated cycles into
+// seconds for throughput tables. Any fixed value yields a deterministic,
+// host-independent req/s figure; 2 GHz roughly matches the paper's
+// evaluation hardware.
+const SimClockHz = 2_000_000_000
+
+// ReqsPerSec converts a request count and its simulated wall-cycle cost
+// into requests per second at SimClockHz (0 if untimed).
+func ReqsPerSec(reqs, wallCycles uint64) uint64 {
+	if wallCycles == 0 {
+		return 0
+	}
+	return reqs * SimClockHz / wallCycles
+}
+
 // timedRun executes an artifact and records the host wall time alongside
 // the result.
 func timedRun(art *confllvm.Artifact, w *confllvm.World, mc *machine.Config) (*confllvm.Result, int64, error) {
@@ -41,26 +56,65 @@ func timedRun(art *confllvm.Artifact, w *confllvm.World, mc *machine.Config) (*c
 	return res, time.Since(start).Nanoseconds(), err
 }
 
+// compileFn is the compiler entry point used by CompileCached; tests
+// swap it to count or fail compilations.
+var compileFn = confllvm.Compile
+
+// artEntry is one singleflight slot in the artifact cache: the first
+// caller of a key compiles inside the entry's once while later callers
+// for the same key block on it, and callers for other keys do not.
+type artEntry struct {
+	once sync.Once
+	art  *confllvm.Artifact
+	err  error
+}
+
 var (
-	artMu    sync.Mutex
-	artCache = map[string]*confllvm.Artifact{}
+	artMu    sync.Mutex // guards the map only, never held across a compile
+	artCache = map[string]*artEntry{}
 )
 
+// artKey is the complete identity of a cached artifact. Everything that
+// changes the compiled bits must appear here: variant plus every Program
+// field (Strict, AllPrivate, Seed, NoOpt) — omitting any of them would
+// hand a stale artifact to a differently-parameterized caller.
+func artKey(name string, v confllvm.Variant, prog confllvm.Program) string {
+	return fmt.Sprintf("%s/%v/strict=%v/allpriv=%v/seed=%d/noopt=%v",
+		name, v, prog.Strict, prog.AllPrivate, prog.Seed, prog.NoOpt)
+}
+
 // CompileCached compiles a named workload for a variant, memoizing the
-// artifact (benchmarks re-run the same binary many times).
+// artifact (benchmarks re-run the same binary many times). Concurrent
+// callers with the same key share one compilation; callers with
+// different keys compile in parallel. Artifacts are immutable after
+// Compile, so sharing the pointer across goroutines is safe.
 func CompileCached(name string, v confllvm.Variant, prog confllvm.Program) (*confllvm.Artifact, error) {
-	key := fmt.Sprintf("%s/%v/%v/%v", name, v, prog.Strict, prog.AllPrivate)
+	key := artKey(name, v, prog)
 	artMu.Lock()
-	defer artMu.Unlock()
-	if art, ok := artCache[key]; ok {
-		return art, nil
+	e, ok := artCache[key]
+	if !ok {
+		e = &artEntry{}
+		artCache[key] = e
 	}
-	art, err := confllvm.Compile(prog, v)
-	if err != nil {
-		return nil, fmt.Errorf("%s [%v]: %w", name, v, err)
+	artMu.Unlock()
+	e.once.Do(func() {
+		e.art, e.err = compileFn(prog, v)
+		if e.err != nil {
+			// Don't cache failures: drop the entry so a later caller
+			// retries (a transient host-side failure would otherwise
+			// poison the key for the whole process). Callers already
+			// blocked on this once still see the error.
+			artMu.Lock()
+			if artCache[key] == e {
+				delete(artCache, key)
+			}
+			artMu.Unlock()
+		}
+	})
+	if e.err != nil {
+		return nil, fmt.Errorf("%s [%v]: %w", name, v, e.err)
 	}
-	artCache[key] = art
-	return art, nil
+	return e.art, nil
 }
 
 // RunSPEC executes one SPEC-like kernel under a variant.
@@ -71,9 +125,12 @@ func RunSPEC(k SPECKernel, v confllvm.Variant) (*Measurement, error) {
 
 // Table renders a paper-style percent-of-base table: one row per workload,
 // one column per configuration, cells are execution metric as % of Base.
+// Set and the accessors are safe for concurrent use; row order in String
+// is sorted, so the rendering is independent of insertion order.
 type Table struct {
 	Title    string
 	Columns  []confllvm.Variant
+	mu       sync.Mutex
 	rowNames []string
 	cells    map[string]map[confllvm.Variant]float64
 	absolute map[string]uint64 // Base absolute value per row
@@ -91,6 +148,8 @@ func NewTable(title string, cols []confllvm.Variant, unit string) *Table {
 
 // Set records a measurement for (row, variant).
 func (t *Table) Set(row string, v confllvm.Variant, value uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	if _, ok := t.cells[row]; !ok {
 		t.cells[row] = map[confllvm.Variant]float64{}
 		t.rowNames = append(t.rowNames, row)
@@ -104,6 +163,8 @@ func (t *Table) Set(row string, v confllvm.Variant, value uint64) {
 // Overhead returns a variant's cell as percent overhead relative to Base
 // for a row (positive = slower, or lower throughput when HigherIsBetter).
 func (t *Table) Overhead(row string, v confllvm.Variant) float64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	base := t.cells[row][confllvm.VariantBase]
 	val := t.cells[row][v]
 	if base == 0 || val == 0 {
@@ -118,6 +179,8 @@ func (t *Table) Overhead(row string, v confllvm.Variant) float64 {
 // String renders the table like the paper's figures: percent of Base per
 // configuration with the absolute baseline annotated.
 func (t *Table) String() string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s\n", t.Title)
 	fmt.Fprintf(&b, "%-14s", "workload")
@@ -145,6 +208,8 @@ func (t *Table) String() string {
 // GeoMeanOverhead computes the geometric-mean ratio (vs Base) across rows
 // for one variant, returned as percent overhead.
 func (t *Table) GeoMeanOverhead(v confllvm.Variant) float64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	prod := 1.0
 	n := 0
 	for _, r := range t.rowNames {
@@ -153,7 +218,11 @@ func (t *Table) GeoMeanOverhead(v confllvm.Variant) float64 {
 		if base == 0 || val == 0 {
 			continue
 		}
-		prod *= val / base
+		ratio := val / base
+		if t.HigherIsBetter {
+			ratio = base / val
+		}
+		prod *= ratio
 		n++
 	}
 	if n == 0 {

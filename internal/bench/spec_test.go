@@ -14,6 +14,7 @@ func TestSPECKernelsCrossVariant(t *testing.T) {
 		k := k
 		k.Params = k.EffectiveParams(testing.Short())
 		t.Run(k.Name, func(t *testing.T) {
+			t.Parallel() // kernels are independent (workload, variant) cells
 			var golden []int64
 			for _, v := range confllvm.AllVariants() {
 				m, err := RunSPEC(k, v)

@@ -148,7 +148,9 @@ func TestDifferentialWorkloads(t *testing.T) {
 	for _, wl := range bench.Workloads(true) {
 		wl := wl
 		for _, v := range variants {
+			v := v
 			t.Run(fmt.Sprintf("%s/%v", wl.Name, v), func(t *testing.T) {
+				t.Parallel() // cells are independent machines; the artifact cache is singleflight
 				art, err := bench.CompileCached(wl.Key, v, wl.Prog(v))
 				if err != nil {
 					t.Fatal(err)
@@ -201,7 +203,9 @@ func TestDifferentialVulns(t *testing.T) {
 	for _, vu := range vulns {
 		vu := vu
 		for _, v := range variants {
+			v := v
 			t.Run(fmt.Sprintf("%s/%v", vu.name, v), func(t *testing.T) {
+				t.Parallel()
 				art, err := bench.CompileCached("vuln-"+vu.name, v, confllvm.Program{
 					Sources: []confllvm.Source{
 						{Name: vu.name + ".c", Code: vu.src},
@@ -233,6 +237,7 @@ func TestDifferentialFuelCutoff(t *testing.T) {
 	for _, fuel := range fuels {
 		fuel := fuel
 		t.Run(fmt.Sprintf("fuel-%d", fuel), func(t *testing.T) {
+			t.Parallel()
 			mc := machine.DefaultConfig()
 			mc.DefaultFuel = fuel
 			res := diffRun(t, art, wl.World, &mc)

@@ -169,6 +169,7 @@ func TestFuzzDifferential(t *testing.T) {
 	for seed := 0; seed < nProgs; seed++ {
 		seed := seed
 		t.Run(fmt.Sprintf("seed-%d", seed), func(t *testing.T) {
+			t.Parallel() // each seed compiles and runs its own program end to end
 			g := &progGen{r: rand.New(rand.NewSource(int64(seed)*7919 + 17)), nFuncs: 1 + seed%3}
 			src := g.generate()
 			v := variants[seed%len(variants)]
