@@ -3,9 +3,18 @@
 //
 // Usage:
 //
-//	confbench [-figure all|5|6|7|8|ldap|throughput|interp]
+//	confbench [-figure all|5|6|7|8|ldap|throughput|scenarios|interp]
 //	          [-superblocks=true|false] [-parallel N]
+//	          [-seed N] [-short] [-list]
 //	          [-json] [-out BENCH_interp.json]
+//
+// The "scenarios" figure is the seeded traffic sweep: internal/scenario
+// expands a grid of (request multiplier x hit ratio) specs for the
+// confidential KV store and the TLS-ish handshake, and every cell's
+// request stream is a pure function of -seed — the printed table is
+// byte-identical across runs, dispatch modes and -parallel settings.
+// -short shrinks the grid to a smoke size; -list prints the known
+// figures and registered workloads and exits.
 //
 // Every (figure, workload, variant) cell is an independent simulation —
 // its own compiled artifact and its own machine.Machine — so the whole
@@ -41,6 +50,7 @@ import (
 	"confllvm"
 	"confllvm/internal/bench"
 	"confllvm/internal/machine"
+	"confllvm/internal/scenario"
 )
 
 // benchRow is one (figure, workload, variant) measurement in the JSON
@@ -88,6 +98,10 @@ var (
 	// mcfg is the machine configuration used for the figure tables,
 	// controlled by -superblocks.
 	mcfg machine.Config
+	// scenarioSeed and shortGrid parameterize the scenarios sweep
+	// (-seed / -short).
+	scenarioSeed uint64
+	shortGrid    bool
 )
 
 // record adds a measurement to the JSON report (no-op without -json).
@@ -121,15 +135,20 @@ type figureSpec struct {
 }
 
 func main() {
-	figure := flag.String("figure", "all", "which figure to regenerate: all, 5, 6, 7, 8, ldap, throughput, interp")
+	figure := flag.String("figure", "all", "which figure to regenerate: all, 5, 6, 7, 8, ldap, throughput, scenarios, interp")
 	superblocks := flag.Bool("superblocks", true, "dispatch basic blocks (false = per-instruction stepping)")
 	parallel := flag.Int("parallel", 0, "worker goroutines for the bench matrix (0 = GOMAXPROCS, 1 = serial)")
+	seed := flag.Uint64("seed", scenario.DefaultSeed, "base seed of the scenario traffic engine")
+	short := flag.Bool("short", false, "shrink the scenarios grid to a smoke size")
+	list := flag.Bool("list", false, "print known figures and registered workloads, then exit")
 	jsonOut := flag.Bool("json", false, "also write a JSON perf report")
 	outPath := flag.String("out", "BENCH_interp.json", "path of the JSON report (with -json)")
 	flag.Parse()
 
 	mcfg = machine.DefaultConfig()
 	mcfg.Superblocks = *superblocks
+	scenarioSeed = *seed
+	shortGrid = *short
 
 	workers := *parallel
 	if workers <= 0 {
@@ -151,7 +170,20 @@ func main() {
 
 	figures := []figureSpec{
 		{"5", fig5}, {"6", fig6}, {"ldap", ldap}, {"7", fig7}, {"8", fig8},
-		{"throughput", throughput}, {"interp", interp},
+		{"throughput", throughput}, {"scenarios", scenarios}, {"interp", interp},
+	}
+
+	if *list {
+		fmt.Println("figures:")
+		fmt.Println("  all")
+		for _, f := range figures {
+			fmt.Printf("  %s\n", f.name)
+		}
+		fmt.Println("workloads:")
+		for _, wl := range bench.Workloads(false) {
+			fmt.Printf("  %-22s (artifact key %q)\n", wl.Name, wl.Key)
+		}
+		return
 	}
 
 	// Build the combined cell matrix for the selected figures, remembering
@@ -174,7 +206,7 @@ func main() {
 		cells = append(cells, cs...)
 	}
 	if !known {
-		fmt.Fprintf(os.Stderr, "confbench: unknown figure %q (want all, 5, 6, 7, 8, ldap, throughput, interp)\n", *figure)
+		fmt.Fprintf(os.Stderr, "confbench: unknown figure %q (run confbench -list for the valid set)\n", *figure)
 		os.Exit(2)
 	}
 
@@ -370,6 +402,36 @@ func throughput() ([]bench.Cell, renderFn) {
 		return nil
 	}
 	return tableCells("throughput", rows, cols), render
+}
+
+// scenarios is the traffic-engine sweep: the internal/scenario grid
+// (request multipliers 1x/10x/100x crossed with hit/resumption ratios)
+// for the confidential KV store and the TLS-ish handshake, reported as
+// requests per second at the simulated clock. Every cell's stream is a
+// pure function of the spec (including -seed), every table value is a
+// simulated quantity, and each workload family compiles once per variant
+// — so even the 100x cells only add simulated execution time and the
+// table is byte-identical across schedulings, dispatch modes and reruns.
+func scenarios() ([]bench.Cell, renderFn) {
+	cols := []confllvm.Variant{confllvm.VariantBase, confllvm.VariantCFI,
+		confllvm.VariantMPX, confllvm.VariantSeg}
+	specs := scenario.FigureGrid(shortGrid, scenarioSeed)
+	tbl := bench.NewTable(
+		fmt.Sprintf("Scenario sweep: seeded KV-store + TLS-ish traffic, requests/sec at a %.1f GHz simulated clock (%% of Base)",
+			float64(bench.SimClockHz)/1e9), cols, "req/s")
+	tbl.HigherIsBetter = true
+	cells := bench.ScenarioCells("scenarios", specs, cols, &mcfg)
+	render := func(results []bench.CellResult) error {
+		err := renderTable("scenarios", tbl, results, func(r bench.CellResult) uint64 {
+			return bench.ReqsPerSec(r.Cell.Scale, r.M.Wall)
+		})
+		if err != nil {
+			return err
+		}
+		printGeomeans("geomean throughput overheads", tbl)
+		return nil
+	}
+	return cells, render
 }
 
 // interp sweeps every workload with superblock dispatch on and off under

@@ -1,0 +1,82 @@
+package bench
+
+import (
+	"fmt"
+
+	"confllvm"
+	"confllvm/internal/machine"
+	"confllvm/internal/scenario"
+)
+
+// scenarioWorkload wires one spec into a Workload. The traffic is
+// generated once up front for the expected-output vector (this also
+// validates the spec's family — our grids never fail it, hence the
+// panic); each World call regenerates the deterministic packets, since
+// worlds are consumed by runs. The check compares the program's output
+// counters against the generator's predictions, so a scenario run is
+// validated end to end, not just fault-free.
+func scenarioWorkload(key string, sources []confllvm.Source, spec scenario.Spec) Workload {
+	_, expect, err := scenario.Traffic(spec)
+	if err != nil {
+		panic(err)
+	}
+	return Workload{
+		Key:  key,
+		Name: spec.Name,
+		Prog: func(confllvm.Variant) confllvm.Program {
+			return confllvm.Program{Sources: sources}
+		},
+		World: func() *confllvm.World {
+			wire, _, _ := scenario.Traffic(spec)
+			w := confllvm.NewWorld()
+			w.Params = []int64{int64(len(wire))}
+			w.NetIn = wire
+			return w
+		},
+		Check: func(res *confllvm.Result) error {
+			if len(res.Outputs) != len(expect) {
+				return fmt.Errorf("scenario %s: got %d outputs %v, want %d %v",
+					spec.Name, len(res.Outputs), res.Outputs, len(expect), expect)
+			}
+			for i := range expect {
+				if res.Outputs[i] != expect[i] {
+					return fmt.Errorf("scenario %s: output[%d] = %d, generator predicted %d (%v vs %v)",
+						spec.Name, i, res.Outputs[i], expect[i], res.Outputs, expect)
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// ScenarioWorkload maps a spec to its workload family.
+func ScenarioWorkload(spec scenario.Spec) Workload {
+	switch spec.Workload {
+	case scenario.WorkloadKV:
+		return KVWorkload(spec)
+	case scenario.WorkloadTLSH:
+		return TLSHWorkload(spec)
+	}
+	panic("bench: unknown scenario workload family " + spec.Workload)
+}
+
+// ScenarioCells expands a scenario sweep into matrix cells: one cell per
+// (spec, variant), scaled by the spec's total request count so table
+// cells read as requests per second. Specs sharing a workload family
+// share one artifact per variant through the singleflight cache — only
+// the generated traffic differs — so even a 100x grid compiles each
+// family exactly once per column. The cells are simulated quantities
+// (no Serial pinning): the sweep is byte-identical under any scheduling.
+func ScenarioCells(figure string, specs []scenario.Spec, cols []confllvm.Variant, conf *machine.Config) []Cell {
+	var cells []Cell
+	for _, spec := range specs {
+		wl := ScenarioWorkload(spec)
+		for _, v := range cols {
+			cells = append(cells, Cell{
+				Figure: figure, Row: spec.Name, Workload: wl,
+				Variant: v, Conf: conf, Scale: uint64(spec.TotalRequests()),
+			})
+		}
+	}
+	return cells
+}

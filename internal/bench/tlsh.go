@@ -1,0 +1,95 @@
+package bench
+
+import (
+	"confllvm"
+	"confllvm/internal/scenario"
+)
+
+// TLSHandshakeSrc is the TLS-ish handshake server: for every client hello
+// it hashes the public transcript (hello type + client nonce) on the
+// public side, decrypts the pre-secret into private memory, draws a
+// public server nonce, and runs a key-schedule-style mixing loop entirely
+// in the private partition — 16 rounds for a full handshake, 4 for a
+// resumption. The derived verify data leaves only through T's ssl_send
+// (encrypted); the only cleartext the wire ever sees is the transcript
+// accumulator, which is a function of public inputs alone. The traffic
+// and the expected [done, full, resumed, transcript] outputs come from
+// internal/scenario, which replicates the transcript arithmetic exactly.
+const TLSHandshakeSrc = `
+#define NONCE 32
+#define KEYLEN 32
+#define RFULL 16
+#define RRES 4
+#define RBUF 128
+
+extern int recv(int fd, char *buf, int size);
+extern int ssl_send(int fd, private char *buf, int size);
+extern void decrypt(char *src, private char *dst, int size);
+extern long input(int idx);
+extern void output(long v);
+
+long u_rand(long *state);
+
+long srvseed = 424242;
+char req[RBUF];
+private char pm[NONCE];
+private char ks[KEYLEN];
+long transcript = 0;
+
+int main() {
+	long n = input(0);
+	long done = 0;
+	long full = 0;
+	long resumed = 0;
+	long i;
+	for (i = 0; i < n; i++) {
+		int got = recv(0, req, RBUF);
+		if (got <= 0) break;
+		long typ = *(long*)(req);
+
+		/* transcript hash: public side, over the hello (type + nonce) */
+		long h = typ * 16777619 + 2166136261;
+		int j;
+		for (j = 0; j < NONCE; j++) h = h * 1099511628211 + (req[8 + j] & 255);
+		transcript = transcript * 7 + h;
+
+		/* the pre-secret exists in clear only in private memory */
+		decrypt(req + 40, pm, NONCE);
+
+		/* server nonce is public; the key schedule mixes it with the
+		 * private pre-secret and the client nonce in private memory */
+		long sn = u_rand(&srvseed);
+		long rounds = RFULL;
+		if (typ == 2) rounds = RRES;
+		for (j = 0; j < KEYLEN; j++) ks[j] = pm[j];
+		int r;
+		for (r = 0; r < rounds; r++) {
+			for (j = 0; j < KEYLEN; j++) {
+				ks[j] = (char)(ks[j] * 31 + pm[(j + r) % NONCE]
+				               + req[8 + j % NONCE] + (sn >> (j % 8)));
+			}
+		}
+		/* finished message: verify data leaves only encrypted */
+		ssl_send(1, ks, KEYLEN);
+
+		if (typ == 2) resumed++;
+		else full++;
+		done++;
+	}
+	output(done);
+	output(full);
+	output(resumed);
+	output(transcript);
+	return 0;
+}
+`
+
+// TLSHWorkload wraps the TLS-ish handshake server driving one scenario's
+// hellos. All scenarios share one artifact per variant (Key "tlsh"); the
+// check also covers the public transcript accumulator.
+func TLSHWorkload(spec scenario.Spec) Workload {
+	return scenarioWorkload("tlsh", []confllvm.Source{
+		{Name: "tlsh.c", Code: TLSHandshakeSrc},
+		{Name: "ulib.c", Code: ULib},
+	}, spec)
+}

@@ -5,6 +5,7 @@ import (
 
 	"confllvm"
 	"confllvm/internal/machine"
+	"confllvm/internal/scenario"
 )
 
 // Workload is one named, compilable benchmark program together with its
@@ -221,6 +222,12 @@ func Workloads(short bool) []Workload {
 		ClassifierWorkload(images),
 		MerkleWorkload(fileKB, threads),
 		QuickstartWorkload(),
+		// The scenario-driven families: seeded traffic from
+		// internal/scenario, outputs checked against the generator's
+		// predictions. Registering them here puts KV/TLS-ish traffic under
+		// the differential and fuzz harnesses with zero extra wiring.
+		KVWorkload(scenario.DefaultKV(short)),
+		TLSHWorkload(scenario.DefaultTLSH(short)),
 	)
 	return wls
 }
