@@ -1,0 +1,171 @@
+// benchhistory appends one perf-trajectory row to BENCH_history.jsonl.
+//
+// Usage:
+//
+//	benchhistory [-bench benchrun.txt] [-interp BENCH_interp.json]
+//	             [-out BENCH_history.jsonl] [-commit SHA]
+//
+// It reads two artifacts the nightly CI job already produces — the
+// `go test -bench BenchmarkRun` output and the `confbench -figure interp
+// -json` report — and distills them into a single JSON line:
+//
+//	{"commit": ..., "date": ..., "benchrun_mips": ...., "interp_geomean": ...}
+//
+// benchrun_mips is the BenchmarkRun/superblock MIPS datapoint (raw
+// dispatch throughput on straight-line ALU blocks); interp_geomean is
+// the geometric mean, over all workloads in the interp sweep, of the
+// superblock-vs-stepwise MIPS speedup (untimed cells are skipped, as in
+// the confbench table). -commit defaults to $GITHUB_SHA, then "local".
+// Appending (not rewriting) keeps the file a grep-able trajectory; rows
+// carry the commit so gaps and reruns are self-describing.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// interpReport mirrors the subset of the confbench -json schema the
+// history row needs.
+type interpReport struct {
+	GeneratedAt string `json:"generated_at"`
+	Rows        []struct {
+		Figure   string  `json:"figure"`
+		Workload string  `json:"workload"`
+		Variant  string  `json:"variant"`
+		MIPS     float64 `json:"mips"`
+	} `json:"rows"`
+}
+
+type historyRow struct {
+	Commit        string  `json:"commit"`
+	Date          string  `json:"date"`
+	BenchRunMIPS  float64 `json:"benchrun_mips"`
+	InterpGeomean float64 `json:"interp_geomean"`
+}
+
+// benchRunMIPS extracts the MIPS metric of the BenchmarkRun/superblock
+// line from `go test -bench` output: the value immediately preceding the
+// "MIPS" unit token.
+func benchRunMIPS(path string) (float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(strings.TrimSpace(line), "BenchmarkRun/superblock") {
+			continue
+		}
+		fields := strings.Fields(line)
+		for i := 1; i < len(fields); i++ {
+			if fields[i] == "MIPS" {
+				return strconv.ParseFloat(fields[i-1], 64)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return 0, err
+	}
+	return 0, fmt.Errorf("no BenchmarkRun/superblock MIPS line in %s", path)
+}
+
+// interpGeomean pairs each interp workload's stepwise and superblock
+// rows and returns the geometric mean of the MIPS speedups, skipping
+// untimed cells (MIPS <= 0) exactly like the confbench table does.
+func interpGeomean(path string) (float64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	var rep interpReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return 0, fmt.Errorf("parse %s: %w", path, err)
+	}
+	step := map[string]float64{}
+	block := map[string]float64{}
+	for _, r := range rep.Rows {
+		if r.Figure != "interp" {
+			continue
+		}
+		switch r.Variant {
+		case "stepwise":
+			step[r.Workload] = r.MIPS
+		case "superblock":
+			block[r.Workload] = r.MIPS
+		}
+	}
+	var logSum float64
+	var n int
+	for wl, s := range step {
+		b, ok := block[wl]
+		if !ok || s <= 0 || b <= 0 {
+			continue
+		}
+		logSum += math.Log(b / s)
+		n++
+	}
+	if n == 0 {
+		return 0, fmt.Errorf("no timed interp workload pairs in %s", path)
+	}
+	return math.Exp(logSum / float64(n)), nil
+}
+
+func main() {
+	bench := flag.String("bench", "benchrun.txt", "go test -bench BenchmarkRun output")
+	interp := flag.String("interp", "BENCH_interp.nightly.json", "confbench -figure interp -json report")
+	out := flag.String("out", "BENCH_history.jsonl", "history file to append to")
+	commit := flag.String("commit", "", "commit SHA for the row (default: $GITHUB_SHA, then \"local\")")
+	flag.Parse()
+
+	sha := *commit
+	if sha == "" {
+		sha = os.Getenv("GITHUB_SHA")
+	}
+	if sha == "" {
+		sha = "local"
+	}
+
+	mips, err := benchRunMIPS(*bench)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchhistory: %v\n", err)
+		os.Exit(1)
+	}
+	geo, err := interpGeomean(*interp)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchhistory: %v\n", err)
+		os.Exit(1)
+	}
+
+	row := historyRow{
+		Commit:        sha,
+		Date:          time.Now().UTC().Format("2006-01-02"),
+		BenchRunMIPS:  mips,
+		InterpGeomean: geo,
+	}
+	line, err := json.Marshal(row)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchhistory: marshal: %v\n", err)
+		os.Exit(1)
+	}
+	f, err := os.OpenFile(*out, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchhistory: %v\n", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if _, err := f.Write(append(line, '\n')); err != nil {
+		fmt.Fprintf(os.Stderr, "benchhistory: append: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("appended to %s: %s\n", *out, line)
+}

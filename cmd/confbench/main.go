@@ -4,7 +4,7 @@
 // Usage:
 //
 //	confbench [-figure all|5|6|7|8|ldap|throughput|scenarios|interp]
-//	          [-superblocks=true|false] [-parallel N]
+//	          [-superblocks=true|false] [-chain on|off] [-parallel N]
 //	          [-seed N] [-short] [-list]
 //	          [-json] [-out BENCH_interp.json]
 //
@@ -30,11 +30,13 @@
 // host run time, interpreter MIPS) is also written to a JSON file so later
 // changes have a perf trajectory to compare against.
 //
-// -superblocks=false replays everything with per-instruction stepping;
-// the figure tables must come out byte-identical (the nightly CI job
-// diffs the two). The "interp" figure runs every workload in both modes
-// back to back, verifies the simulated cycles agree, and reports the
-// dispatch speedup.
+// -superblocks=false replays everything with per-instruction stepping,
+// and -chain=off keeps superblock dispatch but disables direct block
+// chaining; the figure tables must come out byte-identical either way
+// (the nightly CI job diffs stepwise-vs-superblock and chained-vs-
+// unchained). The "interp" figure runs every workload in both dispatch
+// modes back to back, verifies the simulated cycles agree, and reports
+// the dispatch speedup.
 package main
 
 import (
@@ -76,8 +78,9 @@ type benchReport struct {
 	// FigureFilter records the -figure selection so partial runs are never
 	// mistaken for a full-suite trajectory point.
 	FigureFilter string `json:"figure_filter"`
-	// Superblocks records the dispatch mode of the figure-table runs.
+	// Superblocks/Chain record the dispatch mode of the figure-table runs.
 	Superblocks bool `json:"superblocks"`
+	Chain       bool `json:"chain"`
 	// Parallel is the worker count the matrix ran with.
 	Parallel    int    `json:"parallel"`
 	TotalInstrs uint64 `json:"total_instrs"`
@@ -137,6 +140,7 @@ type figureSpec struct {
 func main() {
 	figure := flag.String("figure", "all", "which figure to regenerate: all, 5, 6, 7, 8, ldap, throughput, scenarios, interp")
 	superblocks := flag.Bool("superblocks", true, "dispatch basic blocks (false = per-instruction stepping)")
+	chainFlag := flag.String("chain", "on", "direct block chaining: on|off (escape hatch; only meaningful with -superblocks)")
 	parallel := flag.Int("parallel", 0, "worker goroutines for the bench matrix (0 = GOMAXPROCS, 1 = serial)")
 	seed := flag.Uint64("seed", scenario.DefaultSeed, "base seed of the scenario traffic engine")
 	short := flag.Bool("short", false, "shrink the scenarios grid to a smoke size")
@@ -147,6 +151,15 @@ func main() {
 
 	mcfg = machine.DefaultConfig()
 	mcfg.Superblocks = *superblocks
+	switch *chainFlag {
+	case "on", "true", "1":
+		mcfg.Chain = true
+	case "off", "false", "0":
+		mcfg.Chain = false
+	default:
+		fmt.Fprintf(os.Stderr, "confbench: bad -chain %q (want on or off)\n", *chainFlag)
+		os.Exit(2)
+	}
 	scenarioSeed = *seed
 	shortGrid = *short
 
@@ -160,6 +173,7 @@ func main() {
 			GeneratedAt:  time.Now().UTC().Format(time.RFC3339),
 			FigureFilter: *figure,
 			Superblocks:  *superblocks,
+			Chain:        mcfg.Chain,
 			Parallel:     workers,
 		}
 		if *figure != "all" && *outPath == "BENCH_interp.json" {
@@ -447,6 +461,7 @@ func interp() ([]bench.Cell, renderFn) {
 	stepConf.Superblocks = false
 	blockConf := machine.DefaultConfig()
 	blockConf.Superblocks = true
+	blockConf.Chain = mcfg.Chain // -chain=off measures unchained dispatch
 	wls := bench.Workloads(false)
 	var cells []bench.Cell
 	for _, wl := range wls {

@@ -86,18 +86,22 @@ func BenchmarkStepBnd(b *testing.B) {
 
 // BenchmarkRun measures whole-Run dispatch throughput on a loopy program
 // (straight-line ALU blocks broken by a conditional branch), comparing
-// superblock dispatch against per-instruction stepping. This is the
-// BENCH_interp.json "BenchmarkRun" datapoint: superblock mode must hold
-// a >= 1.5x MIPS advantage here.
+// chained superblock dispatch (the default), unchained superblock
+// dispatch, and per-instruction stepping. The "superblock" sub-benchmark
+// is the BENCH_interp.json / BENCH_history.jsonl "BenchmarkRun"
+// datapoint: it must hold a >= 1.5x MIPS advantage over "stepwise", and
+// the chained-vs-nochain delta is the direct block-chaining win.
 func BenchmarkRun(b *testing.B) {
 	for _, mode := range []struct {
 		name        string
 		superblocks bool
-	}{{"superblock", true}, {"stepwise", false}} {
+		chain       bool
+	}{{"superblock", true, true}, {"nochain", true, false}, {"stepwise", false, false}} {
 		b.Run(mode.name, func(b *testing.B) {
 			const iters = 1000
 			conf := DefaultConfig()
 			conf.Superblocks = mode.superblocks
+			conf.Chain = mode.chain
 			m := New(conf)
 			var code []byte
 			// rcx = iters; loop: 8 ALU ops; rcx--; cmp; jne loop; exit.

@@ -6,7 +6,10 @@ package machine
 // like the extra cache pressure of split public/private stacks (paper
 // Fig. 6, OurMPX vs OurMPX-Sep) are observable.
 type cache struct {
-	sets     [][]cacheLine
+	// lines is the whole cache as one flat array, set-major: set s owns
+	// lines[s*cacheWays : (s+1)*cacheWays]. One allocation and no
+	// per-access pointer chase through a slice-of-slices header.
+	lines    []cacheLine
 	setMask  uint64
 	lineBits uint
 	hits     uint64
@@ -36,16 +39,11 @@ const (
 )
 
 func newCache() *cache {
-	c := &cache{
-		sets:     make([][]cacheLine, cacheSets),
+	return &cache{
+		lines:    make([]cacheLine, cacheSets*cacheWays),
 		setMask:  cacheSets - 1,
 		lineBits: cacheLineBits,
 	}
-	lines := make([]cacheLine, cacheSets*cacheWays)
-	for i := range c.sets {
-		c.sets[i] = lines[i*cacheWays : (i+1)*cacheWays]
-	}
-	return c
 }
 
 // access touches addr and reports whether it hit. The hit scan and the
@@ -55,7 +53,8 @@ func newCache() *cache {
 func (c *cache) access(addr uint64) bool {
 	c.clock++
 	line := addr >> c.lineBits
-	set := c.sets[line&c.setMask]
+	si := (line & c.setMask) * cacheWays
+	set := c.lines[si : si+cacheWays : si+cacheWays]
 	tag := line >> 5 // bits above the set index
 	victim, invalid := 0, -1
 	for i := range set {

@@ -20,16 +20,10 @@ import (
 	"confllvm/internal/machine"
 )
 
-// modeConf returns a default machine config with the given dispatch mode.
-func modeConf(superblocks bool) *machine.Config {
-	mc := machine.DefaultConfig()
-	mc.Superblocks = superblocks
-	return &mc
-}
-
-// diffRun executes one artifact+world under both dispatch modes and
-// compares everything. It returns the stepping-mode result for further
-// workload-specific assertions.
+// diffRun executes one artifact+world under per-instruction stepping and
+// chained superblock dispatch (plus unchained superblock dispatch outside
+// -short mode) and compares everything. It returns the stepping-mode
+// result for further workload-specific assertions.
 func diffRun(t *testing.T, art *confllvm.Artifact, mkWorld func() *confllvm.World,
 	base *machine.Config) *confllvm.Result {
 	t.Helper()
@@ -40,6 +34,7 @@ func diffRun(t *testing.T, art *confllvm.Artifact, mkWorld func() *confllvm.Worl
 	mcStep.Superblocks = false
 	mcBlock := mcStep
 	mcBlock.Superblocks = true
+	mcBlock.Chain = true
 
 	ref, err := confllvm.Run(art, mkWorld(), &mcStep)
 	if err != nil {
@@ -50,6 +45,18 @@ func diffRun(t *testing.T, art *confllvm.Artifact, mkWorld func() *confllvm.Worl
 		t.Fatalf("superblock run: %v", err)
 	}
 	compareResults(t, ref, got)
+	if !testing.Short() {
+		// Third mode: flattened runs without chain links. Any divergence
+		// here isolates a bug to the chain layer (or, differentially, to
+		// run flattening itself).
+		mcNoChain := mcBlock
+		mcNoChain.Chain = false
+		unchained, err := confllvm.Run(art, mkWorld(), &mcNoChain)
+		if err != nil {
+			t.Fatalf("unchained superblock run: %v", err)
+		}
+		compareResults(t, ref, unchained)
+	}
 	return ref
 }
 

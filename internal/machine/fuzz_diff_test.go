@@ -1,8 +1,10 @@
 // Randomized differential fuzzing: seeded, deterministic miniC programs
 // are generated, compiled through the full pipeline, and executed under
-// both dispatch modes. The generator leans on control-flow shapes —
-// nested ifs, bounded loops, calls — because block boundaries are exactly
-// where superblock dispatch can diverge from per-instruction stepping; it
+// every dispatch mode (per-instruction stepping, unchained superblocks,
+// and chained superblocks — see diffRun). The generator leans on
+// control-flow shapes — nested ifs, bounded loops, calls — because block
+// boundaries and branch edges are exactly where superblock dispatch and
+// direct block chaining can diverge from per-instruction stepping; it
 // also emits occasional unguarded divisions so divide-fault delivery is
 // fuzzed too.
 package machine_test

@@ -92,6 +92,15 @@ type Config struct {
 	// differential tests in diff_test.go enforce this. Thread.Step always
 	// executes a single instruction regardless of this flag.
 	Superblocks bool
+
+	// Chain links superblocks to their successors: a block ending in a
+	// direct jmp (and both edges of a jcc) caches a pointer to the
+	// successor's flattened run when the target lies in the same decode
+	// trace and outside the trusted-handler range, so hot loops execute
+	// run-to-run without returning through the dispatcher (see
+	// superblock.go). Only meaningful with Superblocks; bit-identical to
+	// unchained dispatch in every simulated result.
+	Chain bool
 }
 
 // DefaultConfig returns the calibrated default cost model.
@@ -105,6 +114,7 @@ func DefaultConfig() Config {
 		TrustedCost:  40,
 		TrustedCost1: 8,
 		Superblocks:  true,
+		Chain:        true,
 	}
 }
 
@@ -354,349 +364,437 @@ func (t *Thread) Step() *Fault {
 		}
 	}
 
-	// Fetch from the per-region decoded-trace cache: one bounds check and
-	// a pointer dereference on the hot path (see trace.go).
-	if _, _, ff := m.fetch(t.PC); ff != nil {
-		return t.fault(ff)
-	}
+	// Execute the flattened run entered at the current PC through the
+	// shared engine. A run already cached by block dispatch is reused
+	// (slot 0, budget 1); a miss builds a one-slot run, so stepping
+	// through a long straight-line stretch stays linear instead of
+	// piling up overlapping suffix runs. Either way Step and block
+	// dispatch share one executor, one run cache, and one fault path.
 	tr := m.lastTrace
-	_, f := t.execInsts(tr, t.PC-tr.lo, 1)
+	if tr == nil || t.PC-tr.lo >= tr.size {
+		var f *Fault
+		if tr, f = m.traceFor(t.PC); f != nil {
+			return t.fault(f)
+		}
+		m.lastTrace = tr
+	}
+	off := t.PC - tr.lo
+	run := tr.runs[off]
+	if run == nil {
+		var f *Fault
+		if run, f = tr.buildBlock(m, off, 1); f != nil {
+			return t.fault(f)
+		}
+	}
+	_, f := t.execRun(run, tr, 1, false)
 	return f
 }
 
-// execInsts executes up to max decoded instructions from tr starting at
-// offset off. Every instruction in the range must already be decoded
-// (lens != 0), and all but the last must be straight-line — exactly what
-// buildBlock guarantees for a superblock, and trivially true for max=1.
+// execRun executes up to max instructions starting at run's entry slot,
+// then — with chain set and budget remaining — follows the run's cached
+// successor links (resolving them on first use) so hot loops execute
+// run-to-run without returning through the dispatcher. Every run is a
+// flattened superblock (see superblock.go): slot k's instruction is
+// insts[k], its PC is pcs[k] and its fall-through PC is pcs[k+1], so the
+// interior pays no lens[] walk — in fact no per-instruction PC work at
+// all: only control-flow ops consult pcs, a faulting instruction's PC is
+// reconstructed from its slot index (run.pcs[k-1]) after the loop, and
+// the resume PC of a completed run is either the terminator's redirect
+// or the fall-through pcs[k].
 //
-// The PC and the Instrs/Cycles counters are kept in locals and written
-// back only on exit, so the interior of a superblock pays no per-
-// instruction bookkeeping. All architectural effects — register updates,
-// memory accesses, flag math, per-op costs, fault kinds/addresses/
-// messages and the PC left behind on a fault or exit — are identical to
-// stepping one instruction at a time; the faulting instruction counts
-// toward Instrs (but not Cycles), as it always has.
+// The instruction count is recovered from the slot count on exit and the
+// Cycles counter is kept in a local, written back only on exit, so
+// neither block interiors nor chained block boundaries pay
+// per-instruction (or per-block) bookkeeping. All architectural effects
+// — register updates, memory accesses, flag math, per-op costs, fault
+// kinds/addresses/messages and the PC left behind on a fault or exit —
+// are identical to stepping one instruction at a time; the faulting
+// instruction counts toward Instrs (but not Cycles), as it always has.
 //
 // Returns the number of instructions charged, including a faulting one.
-func (t *Thread) execInsts(tr *codeTrace, off uint64, max int) (int, *Fault) {
-	m := t.m
-	pc := tr.lo + off
-	instrs := t.Stats.Instrs
-	cycles := t.Stats.Cycles
+func (t *Thread) execRun(run *blockRun, tr *codeTrace, max int, chain bool) (int, *Fault) {
+	if max <= 0 {
+		return 0, nil
+	}
 	var fault *Fault
+	var nextPC uint64
+	done := 0
 	k := 0
-loop:
-	for k < max {
-		ip := &tr.insts[off]
-		k++
-		instrs++
-		nextPC := pc + uint64(tr.lens[off])
-		cost := uint64(1)
+chained:
+	for {
+		nb := run.n
+		if rem := max - done; nb > rem {
+			nb = rem
+		}
+		insts := run.insts[:nb]
+		k = 0
+	loop:
+		for k < len(insts) {
+			ip := &insts[k]
+			k++
+			// Static per-op base costs are precomputed into run.cum (a
+			// prefix sum charged once per block below); the cases only add
+			// the dynamic components — cache-miss penalties and FP-masked
+			// bound checks — that depend on machine state.
+			switch ip.Op {
+			case asm.OpNop:
+			case asm.OpMovRR:
+				t.Regs[ip.Dst] = t.Regs[ip.Src]
+			case asm.OpMovRI:
+				t.Regs[ip.Dst] = uint64(ip.Imm)
+			case asm.OpLea:
+				// lea computes the raw address without the segment base (as x64).
+				t.Regs[ip.Dst] = t.ea(&ip.M, false)
+			case asm.OpLoad:
+				addr := t.ea(&ip.M, true)
+				v, f := t.m.Mem.Read(addr, ip.M.Size)
+				if f != nil {
+					fault = f
+					break loop
+				}
+				t.Regs[ip.Dst] = extend(v, ip.M.Size, ip.M.Signed)
+				t.Stats.Loads++
+				t.Stats.Cycles += t.memCost(addr)
+			case asm.OpStore:
+				addr := t.ea(&ip.M, true)
+				if f := t.m.Mem.Write(addr, ip.M.Size, t.Regs[ip.Src]); f != nil {
+					fault = f
+					break loop
+				}
+				t.Stats.Stores++
+				t.Stats.Cycles += t.memCost(addr)
+			case asm.OpPush:
+				if f := t.Push(t.Regs[ip.Src]); f != nil {
+					fault = f
+					break loop
+				}
+				t.Stats.Stores++
+				t.Stats.Cycles += t.memCost(t.Regs[asm.RSP])
+			case asm.OpPop:
+				v, f := t.Pop()
+				if f != nil {
+					fault = f
+					break loop
+				}
+				t.Regs[ip.Dst] = v
+				t.Stats.Loads++
+				t.Stats.Cycles += t.memCost(t.Regs[asm.RSP] - 8)
 
-		switch ip.Op {
-		case asm.OpNop:
-		case asm.OpMovRR:
-			t.Regs[ip.Dst] = t.Regs[ip.Src]
-		case asm.OpMovRI:
-			t.Regs[ip.Dst] = uint64(ip.Imm)
-		case asm.OpLea:
-			// lea computes the raw address without the segment base (as x64).
-			t.Regs[ip.Dst] = t.ea(&ip.M, false)
-		case asm.OpLoad:
-			addr := t.ea(&ip.M, true)
-			v, f := m.Mem.Read(addr, ip.M.Size)
-			if f != nil {
-				fault = f
-				break loop
-			}
-			t.Regs[ip.Dst] = extend(v, ip.M.Size, ip.M.Signed)
-			t.Stats.Loads++
-			cost += t.memCost(addr)
-		case asm.OpStore:
-			addr := t.ea(&ip.M, true)
-			if f := m.Mem.Write(addr, ip.M.Size, t.Regs[ip.Src]); f != nil {
-				fault = f
-				break loop
-			}
-			t.Stats.Stores++
-			cost += t.memCost(addr)
-		case asm.OpPush:
-			if f := t.Push(t.Regs[ip.Src]); f != nil {
-				fault = f
-				break loop
-			}
-			t.Stats.Stores++
-			cost += t.memCost(t.Regs[asm.RSP])
-		case asm.OpPop:
-			v, f := t.Pop()
-			if f != nil {
-				fault = f
-				break loop
-			}
-			t.Regs[ip.Dst] = v
-			t.Stats.Loads++
-			cost += t.memCost(t.Regs[asm.RSP] - 8)
+			case asm.OpAddRR:
+				t.Regs[ip.Dst] += t.Regs[ip.Src]
+			case asm.OpAddRI:
+				t.Regs[ip.Dst] += uint64(ip.Imm)
+			case asm.OpSubRR:
+				t.Regs[ip.Dst] -= t.Regs[ip.Src]
+			case asm.OpSubRI:
+				t.Regs[ip.Dst] -= uint64(ip.Imm)
+			case asm.OpMulRR:
+				t.Regs[ip.Dst] = uint64(int64(t.Regs[ip.Dst]) * int64(t.Regs[ip.Src]))
+			case asm.OpMulRI:
+				t.Regs[ip.Dst] = uint64(int64(t.Regs[ip.Dst]) * ip.Imm)
+			case asm.OpDivRR:
+				d := int64(t.Regs[ip.Src])
+				n := int64(t.Regs[ip.Dst])
+				if d == 0 || (d == -1 && n == math.MinInt64) {
+					// x64 #DE covers both divide-by-zero and quotient overflow
+					// (INT64_MIN / -1). Go itself defines the overflow case to
+					// wrap, which is what the interpreter used to do — faulting
+					// instead matches the modeled hardware.
+					fault = &Fault{Kind: FaultDivide}
+					break loop
+				}
+				t.Regs[ip.Dst] = uint64(n / d)
+			case asm.OpModRR:
+				d := int64(t.Regs[ip.Src])
+				n := int64(t.Regs[ip.Dst])
+				if d == 0 || (d == -1 && n == math.MinInt64) {
+					fault = &Fault{Kind: FaultDivide}
+					break loop
+				}
+				t.Regs[ip.Dst] = uint64(n % d)
+			case asm.OpAndRR:
+				t.Regs[ip.Dst] &= t.Regs[ip.Src]
+			case asm.OpAndRI:
+				t.Regs[ip.Dst] &= uint64(ip.Imm)
+			case asm.OpOrRR:
+				t.Regs[ip.Dst] |= t.Regs[ip.Src]
+			case asm.OpOrRI:
+				t.Regs[ip.Dst] |= uint64(ip.Imm)
+			case asm.OpXorRR:
+				t.Regs[ip.Dst] ^= t.Regs[ip.Src]
+			case asm.OpXorRI:
+				t.Regs[ip.Dst] ^= uint64(ip.Imm)
+			case asm.OpShlRR:
+				t.Regs[ip.Dst] <<= t.Regs[ip.Src] & 63
+			case asm.OpShlRI:
+				t.Regs[ip.Dst] <<= uint64(ip.Imm) & 63
+			case asm.OpShrRR:
+				t.Regs[ip.Dst] >>= t.Regs[ip.Src] & 63
+			case asm.OpShrRI:
+				t.Regs[ip.Dst] >>= uint64(ip.Imm) & 63
+			case asm.OpSarRR:
+				t.Regs[ip.Dst] = uint64(int64(t.Regs[ip.Dst]) >> (t.Regs[ip.Src] & 63))
+			case asm.OpSarRI:
+				t.Regs[ip.Dst] = uint64(int64(t.Regs[ip.Dst]) >> (uint64(ip.Imm) & 63))
+			case asm.OpNeg:
+				t.Regs[ip.Dst] = -t.Regs[ip.Dst]
+			case asm.OpNot:
+				t.Regs[ip.Dst] = ^t.Regs[ip.Dst]
 
-		case asm.OpAddRR:
-			t.Regs[ip.Dst] += t.Regs[ip.Src]
-		case asm.OpAddRI:
-			t.Regs[ip.Dst] += uint64(ip.Imm)
-		case asm.OpSubRR:
-			t.Regs[ip.Dst] -= t.Regs[ip.Src]
-		case asm.OpSubRI:
-			t.Regs[ip.Dst] -= uint64(ip.Imm)
-		case asm.OpMulRR:
-			t.Regs[ip.Dst] = uint64(int64(t.Regs[ip.Dst]) * int64(t.Regs[ip.Src]))
-			cost = 3
-		case asm.OpMulRI:
-			t.Regs[ip.Dst] = uint64(int64(t.Regs[ip.Dst]) * ip.Imm)
-			cost = 3
-		case asm.OpDivRR:
-			d := int64(t.Regs[ip.Src])
-			n := int64(t.Regs[ip.Dst])
-			if d == 0 || (d == -1 && n == math.MinInt64) {
-				// x64 #DE covers both divide-by-zero and quotient overflow
-				// (INT64_MIN / -1). Go itself defines the overflow case to
-				// wrap, which is what the interpreter used to do — faulting
-				// instead matches the modeled hardware.
-				fault = &Fault{Kind: FaultDivide}
-				break loop
-			}
-			t.Regs[ip.Dst] = uint64(n / d)
-			cost = 20
-		case asm.OpModRR:
-			d := int64(t.Regs[ip.Src])
-			n := int64(t.Regs[ip.Dst])
-			if d == 0 || (d == -1 && n == math.MinInt64) {
-				fault = &Fault{Kind: FaultDivide}
-				break loop
-			}
-			t.Regs[ip.Dst] = uint64(n % d)
-			cost = 20
-		case asm.OpAndRR:
-			t.Regs[ip.Dst] &= t.Regs[ip.Src]
-		case asm.OpAndRI:
-			t.Regs[ip.Dst] &= uint64(ip.Imm)
-		case asm.OpOrRR:
-			t.Regs[ip.Dst] |= t.Regs[ip.Src]
-		case asm.OpOrRI:
-			t.Regs[ip.Dst] |= uint64(ip.Imm)
-		case asm.OpXorRR:
-			t.Regs[ip.Dst] ^= t.Regs[ip.Src]
-		case asm.OpXorRI:
-			t.Regs[ip.Dst] ^= uint64(ip.Imm)
-		case asm.OpShlRR:
-			t.Regs[ip.Dst] <<= t.Regs[ip.Src] & 63
-		case asm.OpShlRI:
-			t.Regs[ip.Dst] <<= uint64(ip.Imm) & 63
-		case asm.OpShrRR:
-			t.Regs[ip.Dst] >>= t.Regs[ip.Src] & 63
-		case asm.OpShrRI:
-			t.Regs[ip.Dst] >>= uint64(ip.Imm) & 63
-		case asm.OpSarRR:
-			t.Regs[ip.Dst] = uint64(int64(t.Regs[ip.Dst]) >> (t.Regs[ip.Src] & 63))
-		case asm.OpSarRI:
-			t.Regs[ip.Dst] = uint64(int64(t.Regs[ip.Dst]) >> (uint64(ip.Imm) & 63))
-		case asm.OpNeg:
-			t.Regs[ip.Dst] = -t.Regs[ip.Dst]
-		case asm.OpNot:
-			t.Regs[ip.Dst] = ^t.Regs[ip.Dst]
+			case asm.OpCmpRR:
+				t.setCmpFlags(t.Regs[ip.Dst], t.Regs[ip.Src])
+			case asm.OpCmpRI:
+				t.setCmpFlags(t.Regs[ip.Dst], uint64(ip.Imm))
+			case asm.OpCmpMR:
+				addr := t.ea(&ip.M, true)
+				v, f := t.m.Mem.Read(addr, 8)
+				if f != nil {
+					fault = f
+					break loop
+				}
+				t.setCmpFlags(v, t.Regs[ip.Src])
+				t.Stats.Loads++
+				t.Stats.Cycles += t.memCost(addr)
+			case asm.OpTestRR:
+				t.setTestFlags(t.Regs[ip.Dst] & t.Regs[ip.Src])
+			case asm.OpTestRI:
+				t.setTestFlags(t.Regs[ip.Dst] & uint64(ip.Imm))
+			case asm.OpSetCC:
+				if t.condTrue(ip.Cond) {
+					t.Regs[ip.Dst] = 1
+				} else {
+					t.Regs[ip.Dst] = 0
+				}
 
-		case asm.OpCmpRR:
-			t.setCmpFlags(t.Regs[ip.Dst], t.Regs[ip.Src])
-		case asm.OpCmpRI:
-			t.setCmpFlags(t.Regs[ip.Dst], uint64(ip.Imm))
-		case asm.OpCmpMR:
-			addr := t.ea(&ip.M, true)
-			v, f := m.Mem.Read(addr, 8)
-			if f != nil {
-				fault = f
-				break loop
-			}
-			t.setCmpFlags(v, t.Regs[ip.Src])
-			t.Stats.Loads++
-			cost += t.memCost(addr)
-		case asm.OpTestRR:
-			t.setTestFlags(t.Regs[ip.Dst] & t.Regs[ip.Src])
-		case asm.OpTestRI:
-			t.setTestFlags(t.Regs[ip.Dst] & uint64(ip.Imm))
-		case asm.OpSetCC:
-			if t.condTrue(ip.Cond) {
-				t.Regs[ip.Dst] = 1
-			} else {
-				t.Regs[ip.Dst] = 0
-			}
-
-		case asm.OpJmp:
-			nextPC = uint64(ip.Imm)
-		case asm.OpJcc:
-			if t.condTrue(ip.Cond) {
+			case asm.OpJmp:
 				nextPC = uint64(ip.Imm)
-			}
-		case asm.OpJmpR:
-			nextPC = t.Regs[ip.Src]
-		case asm.OpCall:
-			if f := t.Push(nextPC); f != nil {
-				fault = f
-				break loop
-			}
-			cost = 2 + t.memCost(t.Regs[asm.RSP])
-			nextPC = uint64(ip.Imm)
-		case asm.OpICall:
-			if f := t.Push(nextPC); f != nil {
-				fault = f
-				break loop
-			}
-			cost = 2 + t.memCost(t.Regs[asm.RSP])
-			nextPC = t.Regs[ip.Src]
-		case asm.OpRet:
-			v, f := t.Pop()
-			if f != nil {
-				fault = f
-				break loop
-			}
-			cost = 2 + t.memCost(t.Regs[asm.RSP]-8)
-			nextPC = v
-		case asm.OpTrap:
-			fault = &Fault{Kind: FaultCFI, Msg: "trap"}
-			break loop
-		case asm.OpExit:
-			t.Halted = true
-			t.ExitCode = t.Regs[asm.RetReg]
-			t.PC = pc
-			cycles += cost
-			break loop
-
-		case asm.OpBndCLMem, asm.OpBndCUMem, asm.OpBndCLReg, asm.OpBndCUReg:
-			t.Stats.BndChecks++
-			if t.fpCredit > 0 {
-				t.fpCredit--
-				t.Stats.BndMasked++
-				cost = 0
-			}
-			var addr uint64
-			switch ip.Op {
-			case asm.OpBndCLMem, asm.OpBndCUMem:
-				// As with lea, the check is on the raw address (no segment).
-				addr = t.ea(&ip.M, false)
-			default:
-				addr = t.Regs[ip.Src]
-			}
-			b := t.Bnd[ip.Bnd]
-			switch ip.Op {
-			case asm.OpBndCLMem, asm.OpBndCLReg:
-				if addr < b.Lo {
-					fault = &Fault{Kind: FaultBounds, Addr: addr,
-						Msg: fmt.Sprintf("below %s.lower=%#x", ip.Bnd, b.Lo)}
+			case asm.OpJcc:
+				if t.condTrue(ip.Cond) {
+					nextPC = uint64(ip.Imm)
+				} else {
+					nextPC = run.pcs[k]
+				}
+			case asm.OpJmpR:
+				nextPC = t.Regs[ip.Src]
+			case asm.OpCall:
+				if f := t.Push(run.pcs[k]); f != nil {
+					fault = f
 					break loop
 				}
-			default:
-				if addr > b.Hi {
-					fault = &Fault{Kind: FaultBounds, Addr: addr,
-						Msg: fmt.Sprintf("above %s.upper=%#x", ip.Bnd, b.Hi)}
+				t.Stats.Cycles += t.memCost(t.Regs[asm.RSP])
+				nextPC = uint64(ip.Imm)
+			case asm.OpICall:
+				if f := t.Push(run.pcs[k]); f != nil {
+					fault = f
 					break loop
 				}
-			}
+				t.Stats.Cycles += t.memCost(t.Regs[asm.RSP])
+				nextPC = t.Regs[ip.Src]
+			case asm.OpRet:
+				v, f := t.Pop()
+				if f != nil {
+					fault = f
+					break loop
+				}
+				t.Stats.Cycles += t.memCost(t.Regs[asm.RSP] - 8)
+				nextPC = v
+			case asm.OpTrap:
+				fault = &Fault{Kind: FaultCFI, Msg: "trap"}
+				break loop
+			case asm.OpExit:
+				t.Halted = true
+				t.ExitCode = t.Regs[asm.RetReg]
+				t.PC = run.pcs[k-1]
+				break loop
 
-		case asm.OpChkSP:
-			sp := t.Regs[asm.RSP]
-			if sp < t.StackLo || sp > t.StackHi {
-				fault = &Fault{Kind: FaultStack, Addr: sp,
-					Msg: fmt.Sprintf("rsp outside [%#x,%#x]", t.StackLo, t.StackHi)}
-				break loop
-			}
+			case asm.OpBndCLMem, asm.OpBndCUMem, asm.OpBndCLReg, asm.OpBndCUReg:
+				t.Stats.BndChecks++
+				masked := false
+				if t.fpCredit > 0 {
+					t.fpCredit--
+					t.Stats.BndMasked++
+					masked = true
+				}
+				var addr uint64
+				switch ip.Op {
+				case asm.OpBndCLMem, asm.OpBndCUMem:
+					// As with lea, the check is on the raw address (no segment).
+					addr = t.ea(&ip.M, false)
+				default:
+					addr = t.Regs[ip.Src]
+				}
+				b := t.Bnd[ip.Bnd]
+				switch ip.Op {
+				case asm.OpBndCLMem, asm.OpBndCLReg:
+					if addr < b.Lo {
+						fault = &Fault{Kind: FaultBounds, Addr: addr,
+							Msg: fmt.Sprintf("below %s.lower=%#x", ip.Bnd, b.Lo)}
+						break loop
+					}
+				default:
+					if addr > b.Hi {
+						fault = &Fault{Kind: FaultBounds, Addr: addr,
+							Msg: fmt.Sprintf("above %s.upper=%#x", ip.Bnd, b.Hi)}
+						break loop
+					}
+				}
+				if masked {
+					// The check hid behind FP work: refund the static unit
+					// cost charged by the block's prefix sum. A faulting
+					// masked check never gets here — its cost was never
+					// charged (the prefix sum excludes the faulting slot).
+					t.Stats.Cycles--
+				}
 
-		case asm.OpFLoad:
-			addr := t.ea(&ip.M, true)
-			v, f := m.Mem.Read(addr, 8)
-			if f != nil {
-				fault = f
-				break loop
-			}
-			t.FRegs[ip.FDst] = math.Float64frombits(v)
-			t.Stats.Loads++
-			cost += t.memCost(addr)
-			t.grantFPCredit()
-		case asm.OpFStore:
-			addr := t.ea(&ip.M, true)
-			if f := m.Mem.Write(addr, 8, math.Float64bits(t.FRegs[ip.FSrc])); f != nil {
-				fault = f
-				break loop
-			}
-			t.Stats.Stores++
-			cost += t.memCost(addr)
-			t.grantFPCredit()
-		case asm.OpFMovRR:
-			t.FRegs[ip.FDst] = t.FRegs[ip.FSrc]
-		case asm.OpFMovI:
-			t.FRegs[ip.FDst] = math.Float64frombits(uint64(ip.Imm))
-		case asm.OpFAdd:
-			t.FRegs[ip.FDst] += t.FRegs[ip.FSrc]
-			t.grantFPCredit()
-		case asm.OpFSub:
-			t.FRegs[ip.FDst] -= t.FRegs[ip.FSrc]
-			t.grantFPCredit()
-		case asm.OpFMul:
-			t.FRegs[ip.FDst] *= t.FRegs[ip.FSrc]
-			t.grantFPCredit()
-		case asm.OpFDiv:
-			t.FRegs[ip.FDst] /= t.FRegs[ip.FSrc]
-			cost = 12
-			t.grantFPCredit()
-		case asm.OpFMax:
-			if t.FRegs[ip.FSrc] > t.FRegs[ip.FDst] {
+			case asm.OpChkSP:
+				sp := t.Regs[asm.RSP]
+				if sp < t.StackLo || sp > t.StackHi {
+					fault = &Fault{Kind: FaultStack, Addr: sp,
+						Msg: fmt.Sprintf("rsp outside [%#x,%#x]", t.StackLo, t.StackHi)}
+					break loop
+				}
+
+			case asm.OpFLoad:
+				addr := t.ea(&ip.M, true)
+				v, f := t.m.Mem.Read(addr, 8)
+				if f != nil {
+					fault = f
+					break loop
+				}
+				t.FRegs[ip.FDst] = math.Float64frombits(v)
+				t.Stats.Loads++
+				t.Stats.Cycles += t.memCost(addr)
+				t.grantFPCredit()
+			case asm.OpFStore:
+				addr := t.ea(&ip.M, true)
+				if f := t.m.Mem.Write(addr, 8, math.Float64bits(t.FRegs[ip.FSrc])); f != nil {
+					fault = f
+					break loop
+				}
+				t.Stats.Stores++
+				t.Stats.Cycles += t.memCost(addr)
+				t.grantFPCredit()
+			case asm.OpFMovRR:
 				t.FRegs[ip.FDst] = t.FRegs[ip.FSrc]
-			}
-			t.grantFPCredit()
-		case asm.OpFCmp:
-			a, b := t.FRegs[ip.FDst], t.FRegs[ip.FSrc]
-			if math.IsNaN(a) || math.IsNaN(b) {
-				t.ZF, t.CF = true, true // x64 unordered result
-			} else {
-				t.ZF = a == b
-				t.CF = a < b
-			}
-			t.SF, t.OF = false, false
-			t.grantFPCredit()
-		case asm.OpCvtIF:
-			t.FRegs[ip.FDst] = float64(int64(t.Regs[ip.Src]))
-			cost = 2
-		case asm.OpCvtFI:
-			t.Regs[ip.Dst] = uint64(int64(t.FRegs[ip.FSrc]))
-			cost = 2
-		case asm.OpMovQIF:
-			t.FRegs[ip.FDst] = math.Float64frombits(t.Regs[ip.Src])
-		case asm.OpMovQFI:
-			t.Regs[ip.Dst] = math.Float64bits(t.FRegs[ip.FSrc])
+			case asm.OpFMovI:
+				t.FRegs[ip.FDst] = math.Float64frombits(uint64(ip.Imm))
+			case asm.OpFAdd:
+				t.FRegs[ip.FDst] += t.FRegs[ip.FSrc]
+				t.grantFPCredit()
+			case asm.OpFSub:
+				t.FRegs[ip.FDst] -= t.FRegs[ip.FSrc]
+				t.grantFPCredit()
+			case asm.OpFMul:
+				t.FRegs[ip.FDst] *= t.FRegs[ip.FSrc]
+				t.grantFPCredit()
+			case asm.OpFDiv:
+				t.FRegs[ip.FDst] /= t.FRegs[ip.FSrc]
+				t.grantFPCredit()
+			case asm.OpFMax:
+				if t.FRegs[ip.FSrc] > t.FRegs[ip.FDst] {
+					t.FRegs[ip.FDst] = t.FRegs[ip.FSrc]
+				}
+				t.grantFPCredit()
+			case asm.OpFCmp:
+				a, b := t.FRegs[ip.FDst], t.FRegs[ip.FSrc]
+				if math.IsNaN(a) || math.IsNaN(b) {
+					t.ZF, t.CF = true, true // x64 unordered result
+				} else {
+					t.ZF = a == b
+					t.CF = a < b
+				}
+				t.SF, t.OF = false, false
+				t.grantFPCredit()
+			case asm.OpCvtIF:
+				t.FRegs[ip.FDst] = float64(int64(t.Regs[ip.Src]))
+			case asm.OpCvtFI:
+				t.Regs[ip.Dst] = uint64(int64(t.FRegs[ip.FSrc]))
+			case asm.OpMovQIF:
+				t.FRegs[ip.FDst] = math.Float64frombits(t.Regs[ip.Src])
+			case asm.OpMovQFI:
+				t.Regs[ip.Dst] = math.Float64bits(t.FRegs[ip.FSrc])
 
-		case asm.OpWrFS:
-			t.FS = t.Regs[ip.Src]
-		case asm.OpWrGS:
-			t.GS = t.Regs[ip.Src]
-		case asm.OpSyscall:
-			fault = &Fault{Kind: FaultPerm, Msg: "syscall from untrusted code"}
-			break loop
+			case asm.OpWrFS:
+				t.FS = t.Regs[ip.Src]
+			case asm.OpWrGS:
+				t.GS = t.Regs[ip.Src]
+			case asm.OpSyscall:
+				fault = &Fault{Kind: FaultPerm, Msg: "syscall from untrusted code"}
+				break loop
 
-		default:
-			fault = &Fault{Kind: FaultDecode, Msg: "unimplemented opcode " + ip.Op.String()}
-			break loop
+			default:
+				fault = &Fault{Kind: FaultDecode, Msg: "unimplemented opcode " + ip.Op.String()}
+				break loop
+			}
+
 		}
 
-		cycles += cost
-		pc = nextPC
-		off = pc - tr.lo
+		done += k
+		if fault != nil {
+			// Charge the static costs of the slots before the faulting one:
+			// a faulting instruction counts toward Instrs but not Cycles,
+			// as it always has.
+			t.Stats.Cycles += uint64(run.cum[k-1])
+			break chained
+		}
+		// cum[k] includes a halting exit's own cost; dynamic components
+		// (cache misses, FP masking) were added inline by the cases.
+		t.Stats.Cycles += uint64(run.cum[k])
+		if t.Halted || k < run.n || done >= max || !chain {
+			break chained
+		}
+		// The whole block completed with budget left: follow (or resolve
+		// and cache) the chain link its terminator selected. nextPC is the
+		// PC the terminator produced, so a jcc picks its taken edge iff
+		// nextPC matches the branch target. A nil link — different trace,
+		// potential trusted-handler PC, or an undecodable entry — falls
+		// back to the dispatcher, which re-probes everything chaining
+		// skips and delivers any fetch fault with stepping-identical
+		// charging.
+		var next *blockRun
+		switch run.term {
+		case asm.OpJmp:
+			if next = run.next; next == nil {
+				next = tr.chainTarget(t.m, nextPC)
+				run.next = next
+			}
+		case asm.OpJcc:
+			if nextPC == run.takenPC {
+				if next = run.taken; next == nil {
+					next = tr.chainTarget(t.m, nextPC)
+					run.taken = next
+				}
+			} else {
+				if next = run.fall; next == nil {
+					next = tr.chainTarget(t.m, nextPC)
+					run.fall = next
+				}
+			}
+		}
+		if next == nil {
+			break
+		}
+		run = next
 	}
 
-	t.Stats.Instrs = instrs
-	t.Stats.Cycles = cycles
+	t.Stats.Instrs += uint64(done)
 	if fault != nil {
-		t.PC = pc
-		return k, t.fault(fault)
+		// Reconstruct the faulting instruction's PC from its slot index.
+		t.PC = run.pcs[k-1]
+		return done, t.fault(fault)
 	}
 	if !t.Halted {
-		t.PC = pc
+		if k == run.n && run.term != asm.OpInvalid {
+			// The run completed through a redirecting terminator (trap,
+			// syscall and exit never reach here): resume where it pointed.
+			t.PC = nextPC
+		} else {
+			// Straight-line end: budget bite, early-ended block, or a plain
+			// interior prefix — resume at the fall-through slot PC.
+			t.PC = run.pcs[k]
+		}
 	}
-	return k, nil
+	return done, nil
 }
 
 func (t *Thread) grantFPCredit() {

@@ -29,39 +29,49 @@ func buildFor(t *testing.T, conf Config, insts []asm.Inst) (*Machine, *Thread) {
 	return m, th
 }
 
-// runParity runs the same instruction stream under both dispatch modes
-// and requires identical thread state, stats and memory.
+// runParity runs the same instruction stream under per-instruction
+// stepping, unchained superblock dispatch, and chained superblock
+// dispatch, and requires identical thread state, stats and memory across
+// all three.
 func runParity(t *testing.T, insts []asm.Inst) (*Thread, *Thread) {
 	t.Helper()
 	confA := DefaultConfig()
 	confA.Superblocks = false
-	confB := DefaultConfig()
-	confB.Superblocks = true
-
 	mA, thA := buildFor(t, confA, insts)
-	mB, thB := buildFor(t, confB, insts)
 	fA := mA.Run()
-	fB := mB.Run()
-	if (fA == nil) != (fB == nil) {
-		t.Fatalf("fault mismatch: stepwise=%v superblock=%v", fA, fB)
-	}
-	if fA != nil && *fA != *fB {
-		t.Fatalf("fault mismatch: stepwise=%+v superblock=%+v", *fA, *fB)
-	}
-	if thA.Regs != thB.Regs {
-		t.Fatalf("register mismatch:\nstepwise:   %v\nsuperblock: %v", thA.Regs, thB.Regs)
-	}
-	if thA.PC != thB.PC {
-		t.Fatalf("PC mismatch: stepwise=%#x superblock=%#x", thA.PC, thB.PC)
-	}
-	if thA.Stats != thB.Stats {
-		t.Fatalf("stats mismatch:\nstepwise:   %+v\nsuperblock: %+v", thA.Stats, thB.Stats)
-	}
-	if thA.ZF != thB.ZF || thA.SF != thB.SF || thA.CF != thB.CF || thA.OF != thB.OF {
-		t.Fatal("flag mismatch across dispatch modes")
-	}
-	if dA, dB := mA.Mem.Digest(), mB.Mem.Digest(); dA != dB {
-		t.Fatalf("memory digest mismatch: %#x vs %#x", dA, dB)
+
+	var thB *Thread
+	for _, mode := range []struct {
+		name  string
+		chain bool
+	}{{"nochain", false}, {"chained", true}} {
+		confB := DefaultConfig()
+		confB.Superblocks = true
+		confB.Chain = mode.chain
+		mB, th := buildFor(t, confB, insts)
+		fB := mB.Run()
+		if (fA == nil) != (fB == nil) {
+			t.Fatalf("[%s] fault mismatch: stepwise=%v superblock=%v", mode.name, fA, fB)
+		}
+		if fA != nil && *fA != *fB {
+			t.Fatalf("[%s] fault mismatch: stepwise=%+v superblock=%+v", mode.name, *fA, *fB)
+		}
+		if thA.Regs != th.Regs {
+			t.Fatalf("[%s] register mismatch:\nstepwise:   %v\nsuperblock: %v", mode.name, thA.Regs, th.Regs)
+		}
+		if thA.PC != th.PC {
+			t.Fatalf("[%s] PC mismatch: stepwise=%#x superblock=%#x", mode.name, thA.PC, th.PC)
+		}
+		if thA.Stats != th.Stats {
+			t.Fatalf("[%s] stats mismatch:\nstepwise:   %+v\nsuperblock: %+v", mode.name, thA.Stats, th.Stats)
+		}
+		if thA.ZF != th.ZF || thA.SF != th.SF || thA.CF != th.CF || thA.OF != th.OF {
+			t.Fatalf("[%s] flag mismatch across dispatch modes", mode.name)
+		}
+		if dA, dB := mA.Mem.Digest(), mB.Mem.Digest(); dA != dB {
+			t.Fatalf("[%s] memory digest mismatch: %#x vs %#x", mode.name, dA, dB)
+		}
+		thB = th
 	}
 	return thA, thB
 }
@@ -169,26 +179,35 @@ func TestRunFuelParity(t *testing.T) {
 		confA := DefaultConfig()
 		confA.Superblocks = false
 		confA.DefaultFuel = fuel
-		confB := confA
-		confB.Superblocks = true
-
 		mA, thA := buildFor(t, confA, loop)
-		mB, thB := buildFor(t, confB, loop)
-		fA, fB := mA.Run(), mB.Run()
-		if fA == nil || fB == nil || fA.Kind != FaultFuel || fB.Kind != FaultFuel {
-			t.Fatalf("fuel=%d: want fuel faults, got %v / %v", fuel, fA, fB)
-		}
-		if *fA != *fB {
-			t.Fatalf("fuel=%d: fault mismatch %+v vs %+v", fuel, *fA, *fB)
-		}
-		if thA.Stats != thB.Stats {
-			t.Fatalf("fuel=%d: stats mismatch %+v vs %+v", fuel, thA.Stats, thB.Stats)
+		fA := mA.Run()
+		if fA == nil || fA.Kind != FaultFuel {
+			t.Fatalf("fuel=%d: want stepwise fuel fault, got %v", fuel, fA)
 		}
 		if thA.Stats.Instrs != fuel-1 {
 			t.Fatalf("fuel=%d: executed %d instrs, want %d", fuel, thA.Stats.Instrs, fuel-1)
 		}
-		if thA.PC != thB.PC || thA.Regs != thB.Regs {
-			t.Fatalf("fuel=%d: state mismatch at cutoff", fuel)
+		// The budget boundary must land identically whether blocks return
+		// to the dispatcher or chain run-to-run: the bite is capped and
+		// the remainder resumes at the interior slot PC in both cases.
+		for _, chain := range []bool{false, true} {
+			confB := confA
+			confB.Superblocks = true
+			confB.Chain = chain
+			mB, thB := buildFor(t, confB, loop)
+			fB := mB.Run()
+			if fB == nil || fB.Kind != FaultFuel {
+				t.Fatalf("fuel=%d chain=%v: want fuel fault, got %v", fuel, chain, fB)
+			}
+			if *fA != *fB {
+				t.Fatalf("fuel=%d chain=%v: fault mismatch %+v vs %+v", fuel, chain, *fA, *fB)
+			}
+			if thA.Stats != thB.Stats {
+				t.Fatalf("fuel=%d chain=%v: stats mismatch %+v vs %+v", fuel, chain, thA.Stats, thB.Stats)
+			}
+			if thA.PC != thB.PC || thA.Regs != thB.Regs {
+				t.Fatalf("fuel=%d chain=%v: state mismatch at cutoff", fuel, chain)
+			}
 		}
 	}
 }
@@ -336,5 +355,361 @@ func TestSuperblockQuantumInterleaving(t *testing.T) {
 	v, f := mA.Mem.Read(0x100100, 8)
 	if f != nil || v < 3000 {
 		t.Fatalf("shared counter = %d (%v), want >= 3000", v, f)
+	}
+}
+
+// buildRawFor maps a code region of exactly size bytes at 0x1000 (plus
+// the standard data region), writes code into it, and returns a thread
+// at 0x1000. Unlike buildFor it appends no trailing exit, so tests can
+// lay out code that runs into the region edge or into garbage bytes.
+func buildRawFor(t *testing.T, conf Config, code []byte, size uint64) (*Machine, *Thread) {
+	t.Helper()
+	m := New(conf)
+	if uint64(len(code)) > size {
+		t.Fatalf("code (%d bytes) exceeds region size %d", len(code), size)
+	}
+	if _, err := m.Mem.Map("code", 0x1000, size, PermR|PermX); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Mem.Map("data", 0x100000, 0x10000, PermR|PermW); err != nil {
+		t.Fatal(err)
+	}
+	if f := m.Mem.WriteBytesUnchecked(0x1000, code); f != nil {
+		t.Fatal(f)
+	}
+	th := m.NewThread(0x1000, 0x100000+0x8000, 0x100000, 0x100000+0x10000)
+	return m, th
+}
+
+// TestChainStraightLineOffRegion pins the rule that a block whose
+// straight-line flow runs off the end of its region must never chain: a
+// chained successor would bypass the fetch fault stepping mode delivers
+// at the first PC past the region. The loop's jcc fall-through edge leads
+// into exactly such a block, so a buggy chain would carry the hot loop
+// straight past the region edge.
+func TestChainStraightLineOffRegion(t *testing.T) {
+	var code []byte
+	code = asm.Encode(code, asm.Inst{Op: asm.OpMovRI, Dst: asm.RCX, Imm: 40})
+	loopStart := int64(0x1000 + len(code))
+	for _, in := range []asm.Inst{
+		{Op: asm.OpAddRI, Dst: asm.RAX, Imm: 1},
+		{Op: asm.OpSubRI, Dst: asm.RCX, Imm: 1},
+		{Op: asm.OpCmpRI, Dst: asm.RCX, Imm: 0},
+		{Op: asm.OpJcc, Cond: asm.CondNE, Imm: loopStart},
+	} {
+		code = asm.Encode(code, in)
+	}
+	// Fall-through: straight-line code that ends exactly at the region
+	// edge, with no terminator.
+	offEdge := uint64(len(code))
+	code = asm.Encode(code, asm.Inst{Op: asm.OpAddRI, Dst: asm.RBX, Imm: 7})
+	size := uint64(len(code)) // region ends exactly after the last instruction
+
+	confA := DefaultConfig()
+	confA.Superblocks = false
+	mA, thA := buildRawFor(t, confA, code, size)
+	fA := mA.Run()
+	if fA == nil || fA.Kind != FaultUnmapped {
+		t.Fatalf("stepwise: want unmapped fetch fault past the region, got %v", fA)
+	}
+	if want := uint64(0x1000) + size; fA.PC != want {
+		t.Fatalf("stepwise fault PC = %#x, want %#x", fA.PC, want)
+	}
+
+	for _, chain := range []bool{false, true} {
+		confB := DefaultConfig()
+		confB.Chain = chain
+		mB, thB := buildRawFor(t, confB, code, size)
+		fB := mB.Run()
+		if fB == nil || *fA != *fB || fA.Error() != fB.Error() {
+			t.Fatalf("chain=%v: fault mismatch: stepwise=%+v superblock=%v", chain, *fA, fB)
+		}
+		if thA.Regs != thB.Regs || thA.Stats != thB.Stats || thA.PC != thB.PC {
+			t.Fatalf("chain=%v: state mismatch at off-region fault", chain)
+		}
+		if chain {
+			// White-box: the final block must have been built as unchainable
+			// (no terminator, so no edge to follow past the missing fetch).
+			tr := mB.traces[0]
+			run := tr.runs[offEdge]
+			if run == nil {
+				t.Fatalf("no run built at the fall-through block (off %#x)", offEdge)
+			}
+			if run.term != asm.OpInvalid {
+				t.Fatalf("off-region block has terminator %v, want OpInvalid", run.term)
+			}
+			if run.next != nil || run.taken != nil || run.fall != nil {
+				t.Fatal("off-region block cached a chain link; it must never chain")
+			}
+		}
+	}
+}
+
+// TestChainedDecodeFaultTarget: a direct jmp whose target does not
+// decode. Chain resolution must refuse the link and let the dispatcher
+// deliver the decode fault with the same kind, address, PC, message and
+// charging as stepping mode.
+func TestChainedDecodeFaultTarget(t *testing.T) {
+	var code []byte
+	code = asm.Encode(code, asm.Inst{Op: asm.OpMovRI, Dst: asm.RAX, Imm: 5})
+	jmpLen := encodeLen(asm.Inst{Op: asm.OpJmp, Imm: 0})
+	target := int64(0x1000+len(code)) + jmpLen
+	code = asm.Encode(code, asm.Inst{Op: asm.OpJmp, Imm: target})
+	code = append(code, 0xFF) // undecodable opcode at the jump target
+
+	confA := DefaultConfig()
+	confA.Superblocks = false
+	mA, thA := buildRawFor(t, confA, code, 0x1000)
+	fA := mA.Run()
+	if fA == nil || fA.Kind != FaultDecode {
+		t.Fatalf("stepwise: want decode fault at jmp target, got %v", fA)
+	}
+	if fA.Addr != uint64(target) || fA.PC != uint64(target) {
+		t.Fatalf("stepwise fault addr/PC = %#x/%#x, want %#x", fA.Addr, fA.PC, target)
+	}
+	for _, chain := range []bool{false, true} {
+		confB := DefaultConfig()
+		confB.Chain = chain
+		mB, thB := buildRawFor(t, confB, code, 0x1000)
+		fB := mB.Run()
+		if fB == nil || *fA != *fB || fA.Error() != fB.Error() {
+			t.Fatalf("chain=%v: fault mismatch: stepwise=%+v superblock=%v", chain, *fA, fB)
+		}
+		if thA.Regs != thB.Regs || thA.Stats != thB.Stats {
+			t.Fatalf("chain=%v: state mismatch at decode fault", chain)
+		}
+	}
+}
+
+// chainLoopWithHandler builds the shared shape of the mid-run
+// invalidation tests: a countdown loop that calls a trusted handler once
+// per iteration. It returns the machine, thread, and the PCs of the
+// add instruction and its successor.
+func chainLoopWithHandler(t *testing.T, superblocks, chain bool, iters int64,
+	handler func(addPC, skipPC uint64) Handler) (*Machine, *Thread) {
+	t.Helper()
+	conf := DefaultConfig()
+	conf.Superblocks = superblocks
+	conf.Chain = chain
+	m := New(conf)
+	const hpc = 0x9000
+	var code []byte
+	code = asm.Encode(code, asm.Inst{Op: asm.OpMovRI, Dst: asm.RCX, Imm: iters})
+	loopStart := int64(0x1000 + len(code))
+	code = asm.Encode(code, asm.Inst{Op: asm.OpCall, Imm: hpc})
+	addPC := uint64(0x1000 + len(code))
+	code = asm.Encode(code, asm.Inst{Op: asm.OpAddRI, Dst: asm.RAX, Imm: 1})
+	skipPC := uint64(0x1000 + len(code))
+	for _, in := range []asm.Inst{
+		{Op: asm.OpSubRI, Dst: asm.RCX, Imm: 1},
+		{Op: asm.OpCmpRI, Dst: asm.RCX, Imm: 0},
+		{Op: asm.OpJcc, Cond: asm.CondNE, Imm: loopStart},
+		{Op: asm.OpExit},
+	} {
+		code = asm.Encode(code, in)
+	}
+	if _, err := m.Mem.Map("code", 0x1000, 0x1000, PermR|PermX); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Mem.Map("data", 0x100000, 0x10000, PermR|PermW); err != nil {
+		t.Fatal(err)
+	}
+	if f := m.Mem.WriteBytesUnchecked(0x1000, code); f != nil {
+		t.Fatal(f)
+	}
+	m.Handlers[hpc] = handler(addPC, skipPC)
+	th := m.NewThread(0x1000, 0x100000+0x8000, 0x100000, 0x100000+0x10000)
+	return m, th
+}
+
+// TestChainedCodePatchInvalidation: a trusted handler patches the body of
+// a loop that is already executing through cached chain links. The patch
+// flushes the traces (runs and links included), so the remaining
+// iterations must execute the new bytes — identically in all three
+// dispatch modes.
+func TestChainedCodePatchInvalidation(t *testing.T) {
+	mk := func(superblocks, chain bool) (*Machine, *Thread) {
+		calls := 0
+		return chainLoopWithHandler(t, superblocks, chain, 6,
+			func(addPC, skipPC uint64) Handler {
+				return func(m *Machine, t *Thread) *Fault {
+					ret, f := t.Pop()
+					if f != nil {
+						return f
+					}
+					t.PC = ret
+					calls++
+					if calls == 3 {
+						// Patch "add rax, 1" to "add rax, 100" mid-loop.
+						patch := asm.Encode(nil, asm.Inst{Op: asm.OpAddRI, Dst: asm.RAX, Imm: 100})
+						if pf := m.Mem.WriteBytesUnchecked(addPC, patch); pf != nil {
+							return pf
+						}
+					}
+					return nil
+				}
+			})
+	}
+	mA, thA := mk(false, false)
+	if f := mA.Run(); f != nil {
+		t.Fatal(f)
+	}
+	// Iterations 1-2 add 1; the patch lands during iteration 3's call, so
+	// iterations 3-6 add 100.
+	if want := uint64(2 + 4*100); thA.Regs[asm.RAX] != want {
+		t.Fatalf("stepwise rax = %d, want %d", thA.Regs[asm.RAX], want)
+	}
+	for _, chain := range []bool{false, true} {
+		mB, thB := mk(true, chain)
+		if f := mB.Run(); f != nil {
+			t.Fatal(f)
+		}
+		if thA.Regs != thB.Regs || thA.Stats != thB.Stats || thA.PC != thB.PC {
+			t.Fatalf("chain=%v: state mismatch after mid-loop code patch:\nstepwise:   %+v\nsuperblock: %+v",
+				chain, thA.Stats, thB.Stats)
+		}
+		if dA, dB := mA.Mem.Digest(), mB.Mem.Digest(); dA != dB {
+			t.Fatalf("chain=%v: memory digest mismatch after patch", chain)
+		}
+	}
+}
+
+// TestChainedHandlerRegistrationMidRun: a trusted handler registers a
+// second handler at a PC inside a loop that is already chained. The
+// handler index rebuild (hoisted to run after handler dispatches) moves
+// [hndLo, hndHi] across the loop and flushes every run and chain link,
+// so the new handler must be dispatched instead of the fused add — in
+// all three dispatch modes identically.
+func TestChainedHandlerRegistrationMidRun(t *testing.T) {
+	mk := func(superblocks, chain bool) (*Machine, *Thread) {
+		calls := 0
+		return chainLoopWithHandler(t, superblocks, chain, 8,
+			func(addPC, skipPC uint64) Handler {
+				return func(m *Machine, t *Thread) *Fault {
+					ret, f := t.Pop()
+					if f != nil {
+						return f
+					}
+					t.PC = ret
+					calls++
+					if calls == 4 {
+						m.Handlers[addPC] = func(m *Machine, t *Thread) *Fault {
+							t.Regs[asm.RDX] += 50
+							t.PC = skipPC
+							return nil
+						}
+					}
+					return nil
+				}
+			})
+	}
+	mA, thA := mk(false, false)
+	if f := mA.Run(); f != nil {
+		t.Fatal(f)
+	}
+	// Iterations 1-3 execute the add; from iteration 4 on the new handler
+	// shadows it.
+	if thA.Regs[asm.RAX] != 3 || thA.Regs[asm.RDX] != 5*50 {
+		t.Fatalf("stepwise rax/rdx = %d/%d, want 3/250", thA.Regs[asm.RAX], thA.Regs[asm.RDX])
+	}
+	for _, chain := range []bool{false, true} {
+		mB, thB := mk(true, chain)
+		if f := mB.Run(); f != nil {
+			t.Fatal(f)
+		}
+		if thA.Regs != thB.Regs || thA.Stats != thB.Stats || thA.PC != thB.PC {
+			t.Fatalf("chain=%v: state mismatch after mid-run handler registration:\nstepwise:   %+v\nsuperblock: %+v",
+				chain, thA.Stats, thB.Stats)
+		}
+	}
+}
+
+// TestChainLinksResolvedAndFlushed is the white-box pin on the chain
+// cache itself: a hot self-loop must end up with its taken edge chained
+// to its own run and its fall edge chained to the exit block, and a
+// handler-range change must drop every run, block count and link.
+func TestChainLinksResolvedAndFlushed(t *testing.T) {
+	pre := []asm.Inst{{Op: asm.OpMovRI, Dst: asm.RCX, Imm: 500}}
+	loopStart := int64(0x1000) + encodeLen(pre[0])
+	insts := append(pre,
+		asm.Inst{Op: asm.OpAddRI, Dst: asm.RAX, Imm: 1},
+		asm.Inst{Op: asm.OpSubRI, Dst: asm.RCX, Imm: 1},
+		asm.Inst{Op: asm.OpCmpRI, Dst: asm.RCX, Imm: 0},
+		asm.Inst{Op: asm.OpJcc, Cond: asm.CondNE, Imm: loopStart},
+	)
+	m, th := buildFor(t, DefaultConfig(), insts)
+	if f := m.Run(); f != nil {
+		t.Fatal(f)
+	}
+	if th.Regs[asm.RAX] != 500 {
+		t.Fatalf("loop computed %d, want 500", th.Regs[asm.RAX])
+	}
+	tr := m.traces[0]
+	off := uint64(loopStart) - tr.lo
+	run := tr.runs[off]
+	if run == nil || run.term != asm.OpJcc {
+		t.Fatalf("loop block not built as a jcc run: %+v", run)
+	}
+	if tr.blocks[off] != uint16(run.n) {
+		t.Fatalf("blocks[] count %d disagrees with run length %d", tr.blocks[off], run.n)
+	}
+	if run.taken != run {
+		t.Fatalf("self-loop taken edge not chained to its own run (got %p, want %p)", run.taken, run)
+	}
+	if run.fall == nil || run.fall.term != asm.OpExit {
+		t.Fatalf("fall edge not chained to the exit block: %+v", run.fall)
+	}
+
+	// A handler-range change must flush runs, counts and links together.
+	m.Handlers[0x9000] = func(m *Machine, t *Thread) *Fault { return nil }
+	m.RefreshHandlers()
+	for i := range tr.runs {
+		if tr.runs[i] != nil || tr.blocks[i] != 0 {
+			t.Fatalf("run/block metadata at off %#x survived a handler-range flush", i)
+		}
+	}
+}
+
+// TestStepThenRunRebuildsFullBlocks: a Step at a PC builds a one-slot
+// run; later block dispatch at the same PC must rebuild it at full
+// length (and chain it) rather than inheriting one-instruction
+// dispatches forever.
+func TestStepThenRunRebuildsFullBlocks(t *testing.T) {
+	pre := []asm.Inst{{Op: asm.OpMovRI, Dst: asm.RCX, Imm: 300}}
+	loopStart := int64(0x1000) + encodeLen(pre[0])
+	insts := append(pre,
+		asm.Inst{Op: asm.OpAddRI, Dst: asm.RAX, Imm: 1},
+		asm.Inst{Op: asm.OpSubRI, Dst: asm.RCX, Imm: 1},
+		asm.Inst{Op: asm.OpCmpRI, Dst: asm.RCX, Imm: 0},
+		asm.Inst{Op: asm.OpJcc, Cond: asm.CondNE, Imm: loopStart},
+	)
+	m, th := buildFor(t, DefaultConfig(), insts)
+
+	// Single-step into the loop body: builds (and caches) short runs.
+	for i := 0; i < 3; i++ {
+		if f := th.Step(); f != nil {
+			t.Fatal(f)
+		}
+	}
+	tr := m.traces[0]
+	off := uint64(loopStart) - tr.lo
+	if run := tr.runs[off]; run == nil || !run.short || run.n != 1 {
+		t.Fatalf("expected a cached one-slot short run at the loop head after Step, got %+v", run)
+	}
+
+	// Block dispatch must replace the short run with the full block and
+	// chain it, then finish the loop with results identical to stepping.
+	if f := m.Run(); f != nil {
+		t.Fatal(f)
+	}
+	run := tr.runs[off]
+	if run == nil || run.short || run.n < 4 || run.term != asm.OpJcc {
+		t.Fatalf("block dispatch did not rebuild the short run at full length: %+v", run)
+	}
+	if run.taken != run {
+		t.Fatal("rebuilt loop run was not chained to itself")
+	}
+	if th.Regs[asm.RAX] != 300 {
+		t.Fatalf("loop computed %d, want 300", th.Regs[asm.RAX])
 	}
 }

@@ -28,11 +28,14 @@ type codeTrace struct {
 	insts []asm.Inst
 	lens  []uint8
 
-	// blocks[off] is the instruction count of the superblock entered at
-	// lo+off (0 = not yet built); see superblock.go. Blocks share the
-	// trace's lifetime — a flushed trace takes its blocks with it — and
-	// are additionally flushed when the trusted-handler index changes.
+	// runs[off] is the flattened superblock entered at lo+off (nil = not
+	// yet built), and blocks[off] its instruction count (0 = unbuilt) —
+	// the compact index the tests and invariants assert against; see
+	// superblock.go. Both share the trace's lifetime — a flushed trace
+	// takes its runs (and every chain link living inside them) with it —
+	// and are additionally flushed when the trusted-handler index changes.
 	blocks []uint16
+	runs   []*blockRun
 }
 
 func newCodeTrace(mem *Memory, r *Region) *codeTrace {
@@ -43,6 +46,7 @@ func newCodeTrace(mem *Memory, r *Region) *codeTrace {
 		insts:  make([]asm.Inst, r.Size),
 		lens:   make([]uint8, r.Size),
 		blocks: make([]uint16, r.Size),
+		runs:   make([]*blockRun, r.Size),
 	}
 	mem.copyOut(r.Lo, tr.code)
 	return tr
@@ -67,31 +71,6 @@ func (m *Machine) traceFor(pc uint64) (*codeTrace, *Fault) {
 	tr := newCodeTrace(m.Mem, r)
 	m.traces = append(m.traces, tr)
 	return tr, nil
-}
-
-// fetch returns the decoded instruction at pc and its encoded length,
-// decoding it into the region's trace on first execution. The returned
-// pointer aliases the trace: callers must not mutate the instruction.
-func (m *Machine) fetch(pc uint64) (*asm.Inst, int, *Fault) {
-	tr := m.lastTrace
-	if tr == nil || pc-tr.lo >= tr.size {
-		var f *Fault
-		if tr, f = m.traceFor(pc); f != nil {
-			return nil, 0, f
-		}
-		m.lastTrace = tr
-	}
-	off := pc - tr.lo
-	n := int(tr.lens[off])
-	if n == 0 {
-		var err error
-		n, err = asm.DecodeInto(&tr.insts[off], tr.code, int(off))
-		if err != nil {
-			return nil, 0, &Fault{Kind: FaultDecode, Addr: pc, Msg: err.Error()}
-		}
-		tr.lens[off] = uint8(n)
-	}
-	return &tr.insts[off], n, nil
 }
 
 // RegisterCode eagerly builds the decode trace for the executable region
