@@ -3,19 +3,25 @@
 // Usage:
 //
 //	benchhistory [-bench benchrun.txt] [-interp BENCH_interp.json]
+//	             [-faults BENCH_faults.json]
 //	             [-out BENCH_history.jsonl] [-commit SHA]
 //
-// It reads two artifacts the nightly CI job already produces — the
-// `go test -bench BenchmarkRun` output and the `confbench -figure interp
-// -json` report — and distills them into a single JSON line:
+// It reads artifacts the nightly CI job already produces — the
+// `go test -bench BenchmarkRun` output, the `confbench -figure interp
+// -json` report and (optionally) the `confbench -figure faults -json`
+// report — and distills them into a single JSON line:
 //
-//	{"commit": ..., "date": ..., "benchrun_mips": ...., "interp_geomean": ...}
+//	{"commit": ..., "date": ..., "benchrun_mips": ...., "interp_geomean": ...,
+//	 "faults_avail_geomean": ...}
 //
 // benchrun_mips is the BenchmarkRun/superblock MIPS datapoint (raw
 // dispatch throughput on straight-line ALU blocks); interp_geomean is
 // the geometric mean, over all workloads in the interp sweep, of the
 // superblock-vs-stepwise MIPS speedup (untimed cells are skipped, as in
-// the confbench table). -commit defaults to $GITHUB_SHA, then "local".
+// the confbench table); faults_avail_geomean is the geometric mean of
+// the faults figure's availability percentages (zero-availability cells
+// are skipped, like every other geomean in the repo — present only when
+// -faults is given). -commit defaults to $GITHUB_SHA, then "local".
 // Appending (not rewriting) keeps the file a grep-able trajectory; rows
 // carry the commit so gaps and reruns are self-describing.
 package main
@@ -49,6 +55,10 @@ type historyRow struct {
 	Date          string  `json:"date"`
 	BenchRunMIPS  float64 `json:"benchrun_mips"`
 	InterpGeomean float64 `json:"interp_geomean"`
+	// FaultsAvailGeomean tracks the chaos figure: geometric mean of the
+	// supervised-serving availability percentages across the fault-rate
+	// sweep (0 when the faults report was not supplied).
+	FaultsAvailGeomean float64 `json:"faults_avail_geomean,omitempty"`
 }
 
 // benchRunMIPS extracts the MIPS metric of the BenchmarkRun/superblock
@@ -120,9 +130,47 @@ func interpGeomean(path string) (float64, error) {
 	return math.Exp(logSum / float64(n)), nil
 }
 
+// faultsReport mirrors the subset of the faults-figure JSON the history
+// row needs.
+type faultsReport struct {
+	Rows []struct {
+		Figure   string  `json:"figure"`
+		AvailPct float64 `json:"avail_pct"`
+	} `json:"rows"`
+}
+
+// faultsAvailGeomean returns the geometric mean of the faults figure's
+// availability percentages, skipping zero-availability cells (a fully
+// dead cell must never fold -Inf into the aggregate, matching the repo's
+// other geomeans).
+func faultsAvailGeomean(path string) (float64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	var rep faultsReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return 0, fmt.Errorf("parse %s: %w", path, err)
+	}
+	var logSum float64
+	var n int
+	for _, r := range rep.Rows {
+		if r.Figure != "faults" || r.AvailPct <= 0 {
+			continue
+		}
+		logSum += math.Log(r.AvailPct)
+		n++
+	}
+	if n == 0 {
+		return 0, fmt.Errorf("no faults rows with nonzero availability in %s", path)
+	}
+	return math.Exp(logSum / float64(n)), nil
+}
+
 func main() {
 	bench := flag.String("bench", "benchrun.txt", "go test -bench BenchmarkRun output")
 	interp := flag.String("interp", "BENCH_interp.nightly.json", "confbench -figure interp -json report")
+	faults := flag.String("faults", "", "confbench -figure faults -json report (optional)")
 	out := flag.String("out", "BENCH_history.jsonl", "history file to append to")
 	commit := flag.String("commit", "", "commit SHA for the row (default: $GITHUB_SHA, then \"local\")")
 	flag.Parse()
@@ -151,6 +199,14 @@ func main() {
 		Date:          time.Now().UTC().Format("2006-01-02"),
 		BenchRunMIPS:  mips,
 		InterpGeomean: geo,
+	}
+	if *faults != "" {
+		avail, err := faultsAvailGeomean(*faults)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchhistory: %v\n", err)
+			os.Exit(1)
+		}
+		row.FaultsAvailGeomean = avail
 	}
 	line, err := json.Marshal(row)
 	if err != nil {

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	confbench [-figure all|5|6|7|8|ldap|throughput|scenarios|interp]
+//	confbench [-figure all|5|6|7|8|ldap|throughput|scenarios|faults|interp]
 //	          [-superblocks=true|false] [-chain on|off] [-parallel N]
 //	          [-seed N] [-short] [-list]
 //	          [-json] [-out BENCH_interp.json]
@@ -13,8 +13,13 @@
 // confidential KV store and the TLS-ish handshake, and every cell's
 // request stream is a pure function of -seed — the printed table is
 // byte-identical across runs, dispatch modes and -parallel settings.
-// -short shrinks the grid to a smoke size; -list prints the known
-// figures and registered workloads and exits.
+// The "faults" figure serves the same scenario traffic through the bench
+// supervisor under seeded fault injection (internal/chaos) and reports
+// availability, recovery latency and verify-gate rejections; it shares
+// the scenarios figure's determinism contract because the injector and
+// the simulated clock are the only randomness sources and both derive
+// from -seed. -short shrinks the grids to a smoke size; -list prints the
+// known figures and registered workloads and exits.
 //
 // Every (figure, workload, variant) cell is an independent simulation —
 // its own compiled artifact and its own machine.Machine — so the whole
@@ -70,6 +75,19 @@ type benchRow struct {
 	Instrs     uint64  `json:"instrs"`
 	HostNS     int64   `json:"host_ns"`
 	MIPS       float64 `json:"mips"`
+
+	// Availability columns, set only for supervised (faults-figure) rows.
+	// All simulated quantities; recovery latencies are simulated cycles.
+	TotalReqs          int     `json:"total_reqs,omitempty"`
+	Served             int     `json:"served,omitempty"`
+	AvailPct           float64 `json:"avail_pct,omitempty"`
+	ServedPerSec       uint64  `json:"served_per_sec,omitempty"`
+	Restarts           int     `json:"restarts,omitempty"`
+	RecoveryMeanCycles uint64  `json:"recovery_mean_cycles,omitempty"`
+	RecoveryMaxCycles  uint64  `json:"recovery_max_cycles,omitempty"`
+	VerifyRejections   int     `json:"verify_rejections,omitempty"`
+	Shed               int     `json:"shed,omitempty"`
+	Rejected           int     `json:"rejected,omitempty"`
 }
 
 // benchReport is the BENCH_interp.json schema.
@@ -119,11 +137,24 @@ func record(figure, workload, variant string, m *bench.Measurement) {
 	}
 	report.TotalInstrs += m.Stats.Instrs
 	report.TotalHostNS += m.HostNS
-	report.Rows = append(report.Rows, benchRow{
+	row := benchRow{
 		Figure: figure, Workload: workload, Variant: variant,
 		WallCycles: m.Wall, Instrs: m.Stats.Instrs, HostNS: m.HostNS,
 		MIPS: m.MIPS(),
-	})
+	}
+	if rep := m.Serve; rep != nil {
+		row.TotalReqs = rep.Total
+		row.Served = rep.Served
+		row.AvailPct = rep.AvailabilityPct()
+		row.ServedPerSec = rep.ServedPerSec()
+		row.Restarts = rep.Restarts
+		row.RecoveryMeanCycles = rep.RecoveryMean()
+		row.RecoveryMaxCycles = rep.RecoveryMax()
+		row.VerifyRejections = rep.VerifyRejections
+		row.Shed = rep.Shed
+		row.Rejected = rep.Rejected
+	}
+	report.Rows = append(report.Rows, row)
 }
 
 // renderFn consumes a figure's slice of the matrix results (in cell
@@ -138,7 +169,7 @@ type figureSpec struct {
 }
 
 func main() {
-	figure := flag.String("figure", "all", "which figure to regenerate: all, 5, 6, 7, 8, ldap, throughput, scenarios, interp")
+	figure := flag.String("figure", "all", "which figure to regenerate: all, 5, 6, 7, 8, ldap, throughput, scenarios, faults, interp")
 	superblocks := flag.Bool("superblocks", true, "dispatch basic blocks (false = per-instruction stepping)")
 	chainFlag := flag.String("chain", "on", "direct block chaining: on|off (escape hatch; only meaningful with -superblocks)")
 	parallel := flag.Int("parallel", 0, "worker goroutines for the bench matrix (0 = GOMAXPROCS, 1 = serial)")
@@ -184,7 +215,8 @@ func main() {
 
 	figures := []figureSpec{
 		{"5", fig5}, {"6", fig6}, {"ldap", ldap}, {"7", fig7}, {"8", fig8},
-		{"throughput", throughput}, {"scenarios", scenarios}, {"interp", interp},
+		{"throughput", throughput}, {"scenarios", scenarios}, {"faults", faults},
+		{"interp", interp},
 	}
 
 	if *list {
@@ -443,6 +475,48 @@ func scenarios() ([]bench.Cell, renderFn) {
 			return err
 		}
 		printGeomeans("geomean throughput overheads", tbl)
+		return nil
+	}
+	return cells, render
+}
+
+// faults is the chaos figure: the KV-store and TLS-ish scenario
+// workloads served through the bench supervisor while a seeded injector
+// (internal/chaos) corrupts wire packets, plants code bombs, exhausts
+// fuel, and presents tampered images to the verify-before-load gate. The
+// sweep crosses the two workloads with a fault-rate ladder (per-mille,
+// applied to every mechanism) and reports availability, successful
+// throughput, restart counts, recovery latency and gate rejections —
+// every column a simulated quantity, so the table is byte-identical
+// across -parallel, -superblocks and -chain settings and joins the
+// nightly dispatch-mode diffs. The injector seeds derive from -seed, so
+// the figure is one deterministic function of the flag set.
+func faults() ([]bench.Cell, renderFn) {
+	const v = confllvm.VariantMPX // the deployable, verifiable configuration
+	specs := []scenario.Spec{scenario.DefaultKV(shortGrid), scenario.DefaultTLSH(shortGrid)}
+	rates := []uint64{0, 50, 200, 500}
+	if shortGrid {
+		rates = []uint64{0, 200, 500}
+	}
+	cells := bench.FaultCells("faults", specs, rates, v, &mcfg, scenarioSeed)
+	render := func(results []bench.CellResult) error {
+		fmt.Printf("Faults: supervised serving under seeded fault injection (%v, seed %d, rates in per-mille)\n", v, scenarioSeed)
+		fmt.Printf("%-22s %7s %9s %11s %9s %12s %12s %7s %6s %6s\n",
+			"workload/rate", "avail%", "req/s", "served", "restarts",
+			"recov-mean", "recov-max", "gate✗", "shed", "rej")
+		for _, r := range results {
+			if r.Err != nil {
+				return r.Err
+			}
+			rep := r.M.Serve
+			fmt.Printf("%-22s %6.1f%% %9d %5d/%-5d %9d %12d %12d %7d %6d %6d\n",
+				r.Cell.Row, rep.AvailabilityPct(), rep.ServedPerSec(),
+				rep.Served, rep.Total, rep.Restarts,
+				rep.RecoveryMean(), rep.RecoveryMax(),
+				rep.VerifyRejections, rep.Shed, rep.Rejected)
+			record("faults", r.Cell.Row, r.Cell.Variant.String(), r.M)
+		}
+		fmt.Println()
 		return nil
 	}
 	return cells, render

@@ -1,30 +1,91 @@
-// confverify checks a linked U image for the instrumentation that
+// confverify checks linked U images for the instrumentation that
 // guarantees confidentiality, without trusting the compiler that produced
-// it (§5.2). Exit status 0 means the binary is accepted.
+// them (§5.2). It is the standalone face of the same verifier the bench
+// harness runs as its verify-before-load gate.
 //
 // Usage:
 //
-//	confverify [-strict] prog.img
+//	confverify [-strict] [-json] prog.img [more.img ...]
+//
+// Every argument is verified independently and reported on one line
+// (path, verdict, and for rejections the code offset and reason), so the
+// output greps and diffs cleanly in CI. With -json the same report is a
+// JSON array on stdout. Exit status: 0 if every image is accepted, 1 if
+// any is rejected or unreadable, 2 on usage errors.
 package main
 
 import (
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 
 	"confllvm"
+	"confllvm/internal/verify"
 )
+
+// result is one image's verdict, shaped for both report modes.
+type result struct {
+	File  string `json:"file"`
+	OK    bool   `json:"ok"`
+	Error string `json:"error,omitempty"`
+	// Offset is the rejecting code offset when the verifier pinpointed
+	// one (absent for load failures and whole-image rejections).
+	Offset *int `json:"offset,omitempty"`
+}
 
 func main() {
 	strict := flag.Bool("strict", false, "additionally reject branches on private data")
+	jsonOut := flag.Bool("json", false, "report as a JSON array on stdout")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: confverify [-strict] [-json] prog.img [more.img ...]")
+		flag.PrintDefaults()
+	}
 	flag.Parse()
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: confverify [-strict] prog.img")
+	if flag.NArg() == 0 {
+		flag.Usage()
 		os.Exit(2)
 	}
-	if err := confllvm.VerifyImageFile(flag.Arg(0), *strict); err != nil {
-		fmt.Fprintln(os.Stderr, "confverify: REJECTED:", err)
+
+	results := make([]result, 0, flag.NArg())
+	failed := false
+	for _, path := range flag.Args() {
+		r := result{File: path, OK: true}
+		if err := confllvm.VerifyImageFile(path, *strict); err != nil {
+			r.OK = false
+			r.Error = err.Error()
+			var verr *verify.Error
+			if errors.As(err, &verr) {
+				off := verr.Off
+				r.Offset = &off
+				r.Error = verr.Msg
+			}
+			failed = true
+		}
+		results = append(results, r)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(results); err != nil {
+			fmt.Fprintln(os.Stderr, "confverify:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, r := range results {
+			switch {
+			case r.OK:
+				fmt.Printf("%s: OK\n", r.File)
+			case r.Offset != nil:
+				fmt.Printf("%s: REJECTED: offset %#x: %s\n", r.File, *r.Offset, r.Error)
+			default:
+				fmt.Printf("%s: REJECTED: %s\n", r.File, r.Error)
+			}
+		}
+	}
+	if failed {
 		os.Exit(1)
 	}
-	fmt.Println("confverify: OK")
 }

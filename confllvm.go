@@ -176,6 +176,15 @@ func Verify(art *Artifact) error {
 	return verify.Verify(art.Image, verify.Options{Strict: art.Strict})
 }
 
+// Verifiable reports whether the artifact was built in a configuration
+// the independent verifier accepts (CFI plus bounds enforcement plus
+// separated stacks — the deployable configurations). Verify on a
+// non-verifiable artifact always errors, by design.
+func (a *Artifact) Verifiable() bool {
+	c := a.Image.Config
+	return c.CFI && c.Bounds != codegen.BoundsNone && c.SeparateStacks
+}
+
 // Compile runs the full pipeline for one variant.
 func Compile(prog Program, variant Variant) (*Artifact, error) {
 	gen := &minic.QualGen{}
@@ -345,26 +354,57 @@ func prepareWith(art *Artifact, w *World, mconf *machine.Config) (*prepared, err
 	return &prepared{m: m, t0: t0, ctx: ctx}, nil
 }
 
-// Run loads and executes an artifact against a world. mconf may be nil for
-// the default cost model. A fault is reported in Result.Fault, not as an
-// error (exploit tests expect faults).
-func Run(art *Artifact, w *World, mconf *machine.Config) (*Result, error) {
+// Prepared is a loaded machine that has not executed yet: the outcome of
+// Run's load phase, exported so callers can intervene between load and
+// execution — the chaos supervisor corrupts a code page with
+// Memory.WriteBytesUnchecked to model a runtime bit-flip, and white-box
+// tests poke at registers or memory. The artifact itself is never
+// mutated; the machine owns copies of the image bytes.
+type Prepared struct {
+	p *prepared
+}
+
+// Prepare performs the load phase of Run: allocators, trusted context,
+// machine construction and main-thread creation — without executing.
+// mconf may be nil for the default cost model.
+func Prepare(art *Artifact, w *World, mconf *machine.Config) (*Prepared, error) {
 	p, err := prepareWith(art, w, mconf)
 	if err != nil {
 		return nil, err
 	}
-	fault := p.m.Run()
+	return &Prepared{p: p}, nil
+}
+
+// Machine exposes the loaded machine for pre-run intervention.
+func (p *Prepared) Machine() *machine.Machine { return p.p.m }
+
+// Finish executes the prepared machine to completion and collects the
+// result, exactly like Run's execution phase. It must be called at most
+// once.
+func (p *Prepared) Finish() *Result {
+	fault := p.p.m.Run()
 	return &Result{
-		ExitCode:   p.t0.ExitCode,
+		ExitCode:   p.p.t0.ExitCode,
 		Fault:      fault,
-		NetOut:     p.ctx.NetOut,
-		Log:        p.ctx.Log,
-		Outputs:    p.ctx.Outputs,
-		Stats:      p.m.TotalStats(),
-		WallCycles: p.m.WallCycles(),
-		TCtx:       p.ctx,
-		Machine:    p.m,
-	}, nil
+		NetOut:     p.p.ctx.NetOut,
+		Log:        p.p.ctx.Log,
+		Outputs:    p.p.ctx.Outputs,
+		Stats:      p.p.m.TotalStats(),
+		WallCycles: p.p.m.WallCycles(),
+		TCtx:       p.p.ctx,
+		Machine:    p.p.m,
+	}
+}
+
+// Run loads and executes an artifact against a world. mconf may be nil for
+// the default cost model. A fault is reported in Result.Fault, not as an
+// error (exploit tests expect faults).
+func Run(art *Artifact, w *World, mconf *machine.Config) (*Result, error) {
+	p, err := Prepare(art, w, mconf)
+	if err != nil {
+		return nil, err
+	}
+	return p.Finish(), nil
 }
 
 // parseAll parses every source with a shared struct-tag registry.

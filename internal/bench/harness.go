@@ -22,6 +22,9 @@ type Measurement struct {
 	// HostNS is the host wall time of the simulation itself (load + run),
 	// used to report interpreter throughput (MIPS).
 	HostNS int64
+	// Serve is set by supervised (chaos) cells: the availability report
+	// of a fault-injected serving run.
+	Serve *ServeReport
 }
 
 // MIPS returns the interpreter throughput of this run in millions of
@@ -99,6 +102,16 @@ func CompileCached(name string, v confllvm.Variant, prog confllvm.Program) (*con
 	artMu.Unlock()
 	e.once.Do(func() {
 		e.art, e.err = compileFn(prog, v)
+		if e.err == nil && e.art.Verifiable() {
+			// Verify-before-load gate (§5.2 as deployment policy): every
+			// deployable-configuration artifact the harness will ever
+			// load is machine-checked first. A rejected binary never
+			// reaches the loader — the artifact is discarded and the
+			// error propagates to every caller of this key.
+			if verr := confllvm.Verify(e.art); verr != nil {
+				e.art, e.err = nil, fmt.Errorf("verify-before-load gate rejected binary: %w", verr)
+			}
+		}
 		if e.err != nil {
 			// Don't cache failures: drop the entry so a later caller
 			// retries (a transient host-side failure would otherwise

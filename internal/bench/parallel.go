@@ -34,6 +34,12 @@ type Cell struct {
 	// concurrently running cells. Serial cells execute one at a time, in
 	// input order, after the parallel lane has drained.
 	Serial bool
+	// Custom replaces the default Workload.Run execution when non-nil
+	// (the faults figure runs supervised serving loops instead of single
+	// machine runs). Custom cells still flow through the matrix scheduler
+	// and the shared artifact cache; like ordinary cells, they must
+	// produce identical simulated numbers under any scheduling.
+	Custom func(*Cell) (*Measurement, error)
 }
 
 // CellResult pairs a cell with its measurement. Exactly one of M/Err is
@@ -66,7 +72,13 @@ func RunMatrix(cells []Cell, workers int) []CellResult {
 
 	runCell := func(i int) {
 		c := &cells[i]
-		m, err := c.Workload.Run(c.Variant, c.Conf)
+		var m *Measurement
+		var err error
+		if c.Custom != nil {
+			m, err = c.Custom(c)
+		} else {
+			m, err = c.Workload.Run(c.Variant, c.Conf)
+		}
 		if m != nil {
 			m.Res = nil // release the machine; see CellResult
 		}

@@ -42,6 +42,31 @@ func TestSPECKernelsCrossVariant(t *testing.T) {
 	}
 }
 
+// TestSPECKernelsPassVerifyGate compiles every kernel under the
+// deployable (verifiable) variants and runs the binary verifier on each.
+// Regression for a check-coalescing soundness bug: reloading a spilled
+// pointer into a scratch register used to leave the register's coalesced
+// MPX-check entry live, so the reloaded pointer was dereferenced on
+// another pointer's bound check — miscompiled code that the
+// verify-before-load gate rejected.
+func TestSPECKernelsPassVerifyGate(t *testing.T) {
+	for _, k := range SPECKernels() {
+		wl := SPECWorkload(k, k.EffectiveParams(true))
+		for _, v := range []confllvm.Variant{confllvm.VariantMPX, confllvm.VariantSeg} {
+			art, err := confllvm.Compile(wl.Prog(v), v)
+			if err != nil {
+				t.Fatalf("[%v/%s] compile: %v", v, k.Name, err)
+			}
+			if !art.Verifiable() {
+				t.Fatalf("[%v/%s] expected a verifiable configuration", v, k.Name)
+			}
+			if err := confllvm.Verify(art); err != nil {
+				t.Errorf("[%v/%s] verifier rejected compiler output: %v", v, k.Name, err)
+			}
+		}
+	}
+}
+
 // TestSPECOverheadShape checks the headline shape of Fig. 5: the MPX
 // scheme costs more than the segmentation scheme, CFI adds a small
 // overhead over Bare, and everything instrumented is slower than Base.

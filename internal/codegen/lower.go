@@ -32,13 +32,17 @@ func (c *ctx) readGPR(v ir.Value, scratch asm.Reg) asm.Reg {
 		return loc.Reg
 	case regalloc.LocFReg:
 		c.emit(asm.Inst{Op: asm.OpMovQFI, Dst: scratch, FSrc: loc.FReg})
-		return scratch
 	case regalloc.LocSlot:
 		c.emit(asm.Inst{Op: asm.OpLoad, Dst: scratch, M: c.spillOperand(loc)})
-		return scratch
+	default:
+		// Unallocated (dead) value: zero the scratch.
+		c.emit(asm.Inst{Op: asm.OpMovRI, Dst: scratch, Imm: 0})
 	}
-	// Unallocated (dead) value: zero the scratch.
-	c.emit(asm.Inst{Op: asm.OpMovRI, Dst: scratch, Imm: 0})
+	// The scratch now holds a different value than when any coalesced MPX
+	// check was emitted against it; a stale entry here would let a
+	// reloaded pointer ride on another pointer's bound check (the
+	// verifier rejects exactly this).
+	c.invalidateChecks(scratch)
 	return scratch
 }
 

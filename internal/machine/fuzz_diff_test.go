@@ -16,7 +16,9 @@ import (
 	"testing"
 
 	"confllvm"
+	"confllvm/internal/asm"
 	"confllvm/internal/bench"
+	"confllvm/internal/link"
 	"confllvm/internal/machine"
 )
 
@@ -200,6 +202,204 @@ func TestFuzzDifferential(t *testing.T) {
 				if cut.Fault == nil {
 					t.Fatalf("fuel cutoff at %d of %d instrs did not fault",
 						c.DefaultFuel, res.Stats.Instrs)
+				}
+			}
+		})
+	}
+}
+
+// TestFuzzDifferentialBoundsFaults drives seeded wild accesses — far past
+// the array on either side — through the MPX configuration: every run
+// must raise a bounds fault, and the fault's kind, address, PC, partial
+// state and memory digest must be identical across per-instruction
+// stepping, unchained superblocks and direct chaining. This is the
+// adversarial-input half of the fault-path diff: the instrumentation
+// itself is what faults, at a PC the dispatch layers reach differently.
+func TestFuzzDifferentialBoundsFaults(t *testing.T) {
+	nSeeds := 12
+	if testing.Short() {
+		nSeeds = 4
+	}
+	for seed := 0; seed < nSeeds; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed-%d", seed), func(t *testing.T) {
+			t.Parallel()
+			r := rand.New(rand.NewSource(int64(seed)*6007 + 11))
+			// A seeded wild index: far above the public region, or negative.
+			idx := int64(1<<37) + r.Int63n(1<<37)
+			if seed%2 == 1 {
+				idx = -(1 + r.Int63n(1<<20))
+			}
+			// Warm the array first so the fault interrupts a program with
+			// real partial state (digests must still agree mid-flight).
+			src := fmt.Sprintf(`
+extern void output(long v);
+long arr[%d];
+int main() {
+	long i;
+	for (i = 0; i < %d; i++) arr[i & %d] = i * 3;
+	arr[%d] = 7;
+	output(arr[3]);
+	return 0;
+}
+`, fuzzArrLen, 10+r.Int63n(40), fuzzArrLen-1, idx)
+			art, err := confllvm.Compile(confllvm.Program{
+				Sources: []confllvm.Source{{Name: "wild.c", Code: src}},
+			}, confllvm.VariantMPX)
+			if err != nil {
+				t.Fatalf("compile: %v\n%s", err, src)
+			}
+			res := diffRun(t, art, confllvm.NewWorld, nil)
+			if res.Fault == nil || res.Fault.Kind != machine.FaultBounds {
+				t.Fatalf("index %d: want a bounds fault, got %v", idx, res.Fault)
+			}
+		})
+	}
+}
+
+// diffRunCorrupt mirrors diffRun for post-load code corruption: each
+// dispatch mode loads the same pristine artifact, has one code byte
+// overwritten with an invalid opcode at addr before execution, and runs.
+// Fault traces (kind, PC, message), partial state and memory digests must
+// agree across modes — superblock caches and chain links must not let a
+// mode run stale pre-corruption bytes.
+func diffRunCorrupt(t *testing.T, art *confllvm.Artifact, addr uint64) *confllvm.Result {
+	t.Helper()
+	run := func(mc *machine.Config) *confllvm.Result {
+		p, err := confllvm.Prepare(art, confllvm.NewWorld(), mc)
+		if err != nil {
+			t.Fatalf("prepare: %v", err)
+		}
+		if f := p.Machine().Mem.WriteBytesUnchecked(addr, []byte{0xFF}); f != nil {
+			t.Fatalf("corrupting code at %#x: %v", addr, f)
+		}
+		return p.Finish()
+	}
+	mcStep := machine.DefaultConfig()
+	mcStep.Superblocks = false
+	mcBlock := mcStep
+	mcBlock.Superblocks = true
+	mcBlock.Chain = true
+	ref := run(&mcStep)
+	compareResults(t, ref, run(&mcBlock))
+	if !testing.Short() {
+		mcNoChain := mcBlock
+		mcNoChain.Chain = false
+		compareResults(t, ref, run(&mcNoChain))
+	}
+	return ref
+}
+
+// instAddrs walks a function's body (skipping embedded magic words) and
+// returns the address of every instruction boundary.
+func instAddrs(img *link.Image, fs *link.FuncSym) []uint64 {
+	magic := img.MagicOffsets()
+	off := int(fs.Entry - img.Layout.CodeBase)
+	end := int(fs.Base-img.Layout.CodeBase) + int(fs.Size)
+	var addrs []uint64
+	for off < end {
+		if magic[off] {
+			off += 8
+			continue
+		}
+		_, n, err := asm.Decode(img.Code, off)
+		if err != nil {
+			break
+		}
+		addrs = append(addrs, img.Layout.CodeBase+uint64(off))
+		off += n
+	}
+	return addrs
+}
+
+// TestFuzzDifferentialDecodeFaults plants an invalid opcode at a seeded
+// instruction boundary inside main of a seeded fuzz program and diffs the
+// execution across all dispatch modes. Corruption on the executed path
+// must raise FaultDecode at the same PC with the same digest everywhere;
+// corruption on a cold path must leave all modes running to the same
+// clean completion. Across the seed set, at least one bomb must land hot
+// (otherwise the test is vacuous).
+func TestFuzzDifferentialDecodeFaults(t *testing.T) {
+	nSeeds := 12
+	if testing.Short() {
+		nSeeds = 4
+	}
+	hot := 0
+	for seed := 0; seed < nSeeds; seed++ {
+		g := &progGen{r: rand.New(rand.NewSource(int64(seed)*4241 + 5)), nFuncs: 1 + seed%2}
+		src := g.generate()
+		art, err := confllvm.Compile(confllvm.Program{
+			Sources: []confllvm.Source{
+				{Name: "fuzz.c", Code: src},
+				{Name: "ulib.c", Code: bench.ULib},
+			},
+		}, confllvm.VariantMPX)
+		if err != nil {
+			t.Fatalf("seed %d: compile: %v", seed, err)
+		}
+		addrs := instAddrs(art.Image, art.Image.Func("main"))
+		if len(addrs) == 0 {
+			t.Fatalf("seed %d: no instruction boundaries in main", seed)
+		}
+		addr := addrs[rand.New(rand.NewSource(int64(seed)+99)).Intn(len(addrs))]
+		res := diffRunCorrupt(t, art, addr)
+		if res.Fault != nil {
+			if res.Fault.Kind != machine.FaultDecode && res.Fault.Kind != machine.FaultDivide {
+				t.Fatalf("seed %d: corrupting %#x: unexpected fault kind %v", seed, addr, res.Fault)
+			}
+			if res.Fault.Kind == machine.FaultDecode {
+				hot++
+			}
+		}
+	}
+	if hot == 0 {
+		t.Fatalf("no decode bomb landed on an executed instruction across %d seeds", nSeeds)
+	}
+	t.Logf("%d/%d decode bombs were execution-visible", hot, nSeeds)
+}
+
+// TestFuzzDifferentialFuelAtBoundaries cuts the instruction budget of
+// seeded fuzz programs at seeded fractions of their run length, so fuel
+// faults land at arbitrary alignments relative to superblock and chain
+// boundaries. Every cut must fault with FaultFuel, identically in all
+// dispatch modes.
+func TestFuzzDifferentialFuelAtBoundaries(t *testing.T) {
+	nSeeds := 6
+	if testing.Short() {
+		nSeeds = 2
+	}
+	for seed := 0; seed < nSeeds; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed-%d", seed), func(t *testing.T) {
+			t.Parallel()
+			g := &progGen{r: rand.New(rand.NewSource(int64(seed)*911 + 3)), nFuncs: 1 + seed%3}
+			src := g.generate()
+			art, err := confllvm.Compile(confllvm.Program{
+				Sources: []confllvm.Source{
+					{Name: "fuzz.c", Code: src},
+					{Name: "ulib.c", Code: bench.ULib},
+				},
+			}, confllvm.VariantMPX)
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			clean := diffRun(t, art, confllvm.NewWorld, nil)
+			if clean.Fault != nil || clean.Stats.Instrs < 16 {
+				t.Skipf("seed unusable for fuel cuts: fault=%v instrs=%d",
+					clean.Fault, clean.Stats.Instrs)
+			}
+			r := rand.New(rand.NewSource(int64(seed)*13 + 7))
+			for _, quarter := range []uint64{1, 2, 3} {
+				fuel := clean.Stats.Instrs*quarter/4 + uint64(r.Intn(9)) - 4
+				if fuel == 0 || fuel >= clean.Stats.Instrs {
+					continue
+				}
+				mc := machine.DefaultConfig()
+				mc.DefaultFuel = fuel
+				cut := diffRun(t, art, confllvm.NewWorld, &mc)
+				if cut.Fault == nil || cut.Fault.Kind != machine.FaultFuel {
+					t.Fatalf("fuel cut at %d of %d: want FaultFuel, got %v",
+						fuel, clean.Stats.Instrs, cut.Fault)
 				}
 			}
 		})

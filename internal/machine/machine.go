@@ -196,9 +196,15 @@ func (m *Machine) NewThread(pc, rsp, stackLo, stackHi uint64) *Thread {
 	return t
 }
 
-// fault halts the thread with a fault at the current pc.
+// fault halts the thread with a fault at the current pc, stamping the
+// fault with the thread's simulated cycle count. Every fault delivery in
+// every dispatch mode funnels through here (execRun, stepBlocks, the fuel
+// discipline in Run/runBlocks, and handler faults in Step), and the
+// callers all write back their cycle accounting before calling, so the
+// stamp is bit-identical across stepping, superblock and chained dispatch.
 func (t *Thread) fault(f *Fault) *Fault {
 	f.PC = t.PC
+	f.Cycle = t.Stats.Cycles
 	t.Fault = f
 	t.Halted = true
 	return f

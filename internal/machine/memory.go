@@ -407,6 +407,13 @@ type Fault struct {
 	Addr uint64
 	PC   uint64
 	Msg  string
+	// Cycle is the faulting thread's simulated cycle count at delivery,
+	// stamped by Thread.fault. It is a simulated quantity — bit-identical
+	// across dispatch modes (the differential tests compare whole Fault
+	// values) — so restart supervisors can account recovery latency in
+	// simulated cycles. It is deliberately excluded from Error(): fault
+	// messages predate it and stay stable.
+	Cycle uint64
 }
 
 func (f *Fault) Error() string {

@@ -330,6 +330,15 @@ func (p *parser) declSpec() (*types.Type, error) {
 	switch t.Text {
 	case "void":
 		p.advance()
+		if hasPrivate {
+			// `private void` exists only as a pointee (private void *p):
+			// carry the qualifier so a private pointer erased to void*
+			// stays deep-compatible with private pointees instead of
+			// silently reverting to a public pointee (which made every
+			// `private void *` parameter reject private-pointer
+			// arguments in taint inference).
+			return &types.Type{Kind: types.Void, Qual: types.Private}, nil
+		}
 		return types.MakeVoid(), nil
 	case "char":
 		p.advance()

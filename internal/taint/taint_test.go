@@ -113,3 +113,55 @@ func TestAllPrivateAssignment(t *testing.T) {
 		t.Fatal("all-private must resolve everything private")
 	}
 }
+
+// TestPrivateVoidPointerParam is the regression test for the PR 4
+// footgun: `extern void free_priv(private void *p);` used to drop the
+// qualifier on the void pointee (the parser hardcoded `void` as public),
+// so every private pointer passed to it tripped deep pointee invariance
+// and callers had to spell the parameter `private char *`. The `private`
+// must survive type erasure to void*.
+func TestPrivateVoidPointerParam(t *testing.T) {
+	if _, err := infer(t, `
+extern void free_priv(private void *p);
+extern private void *malloc_priv(long size);
+void f() {
+	private char *s = (private char*)malloc_priv(16);
+	free_priv(s);
+}
+`, taint.Options{}); err != nil {
+		t.Fatalf("private pointer into private void * must be allowed: %v", err)
+	}
+}
+
+// TestPublicIntoPrivateVoidPointerRejected is the dual: a *public*
+// pointer handed to a `private void *` parameter is still a pointee-
+// qualifier mismatch and must be rejected with the usual diagnostic.
+func TestPublicIntoPrivateVoidPointerRejected(t *testing.T) {
+	_, err := infer(t, `
+extern void free_priv(private void *p);
+void f(char *s) {
+	free_priv(s);
+}
+`, taint.Options{})
+	if err == nil {
+		t.Fatal("public pointee into private void * not caught")
+	}
+	if !strings.Contains(err.Error(), "free_priv") || !strings.Contains(err.Error(), "pointee") {
+		t.Fatalf("diagnostic should name the call and the pointee: %v", err)
+	}
+}
+
+// TestPlainVoidPointerStaysPublic pins the other half of the fix: an
+// unqualified void* keeps its public pointee, so erasing a private
+// pointer to plain void* is still a violation.
+func TestPlainVoidPointerStaysPublic(t *testing.T) {
+	_, err := infer(t, `
+extern void free(void *p);
+void f(private char *s) {
+	free(s);
+}
+`, taint.Options{})
+	if err == nil {
+		t.Fatal("private pointee into public void * not caught")
+	}
+}
