@@ -3,7 +3,7 @@
 // Usage:
 //
 //	benchhistory [-bench benchrun.txt] [-interp BENCH_interp.json]
-//	             [-faults BENCH_faults.json]
+//	             [-faults BENCH_faults.json] [-verify BENCH_verify.json]
 //	             [-out BENCH_history.jsonl] [-commit SHA]
 //
 // It reads artifacts the nightly CI job already produces — the
@@ -21,7 +21,11 @@
 // the confbench table); faults_avail_geomean is the geometric mean of
 // the faults figure's availability percentages (zero-availability cells
 // are skipped, like every other geomean in the repo — present only when
-// -faults is given). -commit defaults to $GITHUB_SHA, then "local".
+// -faults is given); verify_funcs_per_sec is the geometric mean of the
+// verify figure's per-binary checking throughput (present only when
+// -verify is given — it tracks the load gate's cost over time the same
+// way interp_geomean tracks the interpreter's). -commit defaults to
+// $GITHUB_SHA, then "local".
 // Appending (not rewriting) keeps the file a grep-able trajectory; rows
 // carry the commit so gaps and reruns are self-describing.
 package main
@@ -59,6 +63,10 @@ type historyRow struct {
 	// supervised-serving availability percentages across the fault-rate
 	// sweep (0 when the faults report was not supplied).
 	FaultsAvailGeomean float64 `json:"faults_avail_geomean,omitempty"`
+	// VerifyFuncsPerSec tracks the verify figure: geometric mean of the
+	// per-binary parallel checking throughput in functions per host second
+	// (0 when the verify report was not supplied).
+	VerifyFuncsPerSec float64 `json:"verify_funcs_per_sec,omitempty"`
 }
 
 // benchRunMIPS extracts the MIPS metric of the BenchmarkRun/superblock
@@ -167,10 +175,46 @@ func faultsAvailGeomean(path string) (float64, error) {
 	return math.Exp(logSum / float64(n)), nil
 }
 
+// verifyReport mirrors the subset of the verify-figure JSON the history
+// row needs.
+type verifyReport struct {
+	Rows []struct {
+		Figure            string  `json:"figure"`
+		VerifyFuncsPerSec float64 `json:"verify_funcs_per_sec"`
+	} `json:"rows"`
+}
+
+// verifyFuncsGeomean returns the geometric mean of the verify figure's
+// per-binary funcs/s throughput, skipping untimed cells.
+func verifyFuncsGeomean(path string) (float64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	var rep verifyReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return 0, fmt.Errorf("parse %s: %w", path, err)
+	}
+	var logSum float64
+	var n int
+	for _, r := range rep.Rows {
+		if r.Figure != "verify" || r.VerifyFuncsPerSec <= 0 {
+			continue
+		}
+		logSum += math.Log(r.VerifyFuncsPerSec)
+		n++
+	}
+	if n == 0 {
+		return 0, fmt.Errorf("no timed verify rows in %s", path)
+	}
+	return math.Exp(logSum / float64(n)), nil
+}
+
 func main() {
 	bench := flag.String("bench", "benchrun.txt", "go test -bench BenchmarkRun output")
 	interp := flag.String("interp", "BENCH_interp.nightly.json", "confbench -figure interp -json report")
 	faults := flag.String("faults", "", "confbench -figure faults -json report (optional)")
+	verifyIn := flag.String("verify", "", "confbench -figure verify -json report (optional)")
 	out := flag.String("out", "BENCH_history.jsonl", "history file to append to")
 	commit := flag.String("commit", "", "commit SHA for the row (default: $GITHUB_SHA, then \"local\")")
 	flag.Parse()
@@ -207,6 +251,14 @@ func main() {
 			os.Exit(1)
 		}
 		row.FaultsAvailGeomean = avail
+	}
+	if *verifyIn != "" {
+		fps, err := verifyFuncsGeomean(*verifyIn)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchhistory: %v\n", err)
+			os.Exit(1)
+		}
+		row.VerifyFuncsPerSec = fps
 	}
 	line, err := json.Marshal(row)
 	if err != nil {

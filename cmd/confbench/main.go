@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	confbench [-figure all|5|6|7|8|ldap|throughput|scenarios|faults|interp]
+//	confbench [-figure all|5|6|7|8|ldap|throughput|scenarios|faults|verify|interp]
 //	          [-superblocks=true|false] [-chain on|off] [-parallel N]
 //	          [-seed N] [-short] [-list]
 //	          [-json] [-out BENCH_interp.json]
@@ -20,6 +20,18 @@
 // the simulated clock are the only randomness sources and both derive
 // from -seed. -short shrinks the grids to a smoke size; -list prints the
 // known figures and registered workloads and exits.
+//
+// The "verify" figure turns the load gate itself into an evaluation
+// target: every workload's binary under both deployable schemes is
+// checked cold-serial, cold-parallel and verdict-cached, and the seeded
+// verifymut mutation corpus is run against it. The per-binary counters
+// (functions, stubs, instructions, mutants tried/killed) are pure
+// functions of the bits and -seed, so that part of the table is
+// byte-identical across -parallel settings — the nightly job diffs it —
+// while the throughput lines (funcs/s, insts/s, dispatch speedup) are
+// host time and carry a "(host)" marker so diffs can strip them. A
+// mutation kill rate below 100% fails the figure: a surviving mutant is
+// a verifier soundness hole.
 //
 // Every (figure, workload, variant) cell is an independent simulation —
 // its own compiled artifact and its own machine.Machine — so the whole
@@ -88,6 +100,22 @@ type benchRow struct {
 	VerifyRejections   int     `json:"verify_rejections,omitempty"`
 	Shed               int     `json:"shed,omitempty"`
 	Rejected           int     `json:"rejected,omitempty"`
+
+	// Verify columns, set only for verify-figure rows. The counters are
+	// deterministic; the *_ns and per-sec fields are host time (cells run
+	// in the serial lane, so they are quiet-host measurements).
+	VerifyFuncs       int     `json:"verify_funcs,omitempty"`
+	VerifyStubs       int     `json:"verify_stubs,omitempty"`
+	VerifyInsts       int     `json:"verify_insts,omitempty"`
+	CodeBytes         int     `json:"code_bytes,omitempty"`
+	VerifyWorkers     int     `json:"verify_workers,omitempty"`
+	VerifySerialNS    int64   `json:"verify_serial_ns,omitempty"`
+	VerifyParallelNS  int64   `json:"verify_parallel_ns,omitempty"`
+	VerifyCachedNS    int64   `json:"verify_cached_ns,omitempty"`
+	VerifyFuncsPerSec float64 `json:"verify_funcs_per_sec,omitempty"`
+	VerifyInstsPerSec float64 `json:"verify_insts_per_sec,omitempty"`
+	MutantsTried      int     `json:"mutants_tried,omitempty"`
+	MutantsKilled     int     `json:"mutants_killed,omitempty"`
 }
 
 // benchReport is the BENCH_interp.json schema.
@@ -154,6 +182,20 @@ func record(figure, workload, variant string, m *bench.Measurement) {
 		row.Shed = rep.Shed
 		row.Rejected = rep.Rejected
 	}
+	if rep := m.Verify; rep != nil {
+		row.VerifyFuncs = rep.Funcs
+		row.VerifyStubs = rep.Stubs
+		row.VerifyInsts = rep.Insts
+		row.CodeBytes = rep.CodeBytes
+		row.VerifyWorkers = rep.Workers
+		row.VerifySerialNS = rep.SerialNS
+		row.VerifyParallelNS = rep.ParallelNS
+		row.VerifyCachedNS = rep.CachedNS
+		row.VerifyFuncsPerSec = rep.FuncsPerSec()
+		row.VerifyInstsPerSec = rep.InstsPerSec()
+		row.MutantsTried = rep.MutantsTried
+		row.MutantsKilled = rep.MutantsKilled
+	}
 	report.Rows = append(report.Rows, row)
 }
 
@@ -169,7 +211,7 @@ type figureSpec struct {
 }
 
 func main() {
-	figure := flag.String("figure", "all", "which figure to regenerate: all, 5, 6, 7, 8, ldap, throughput, scenarios, faults, interp")
+	figure := flag.String("figure", "all", "which figure to regenerate: all, 5, 6, 7, 8, ldap, throughput, scenarios, faults, verify, interp")
 	superblocks := flag.Bool("superblocks", true, "dispatch basic blocks (false = per-instruction stepping)")
 	chainFlag := flag.String("chain", "on", "direct block chaining: on|off (escape hatch; only meaningful with -superblocks)")
 	parallel := flag.Int("parallel", 0, "worker goroutines for the bench matrix (0 = GOMAXPROCS, 1 = serial)")
@@ -216,7 +258,7 @@ func main() {
 	figures := []figureSpec{
 		{"5", fig5}, {"6", fig6}, {"ldap", ldap}, {"7", fig7}, {"8", fig8},
 		{"throughput", throughput}, {"scenarios", scenarios}, {"faults", faults},
-		{"interp", interp},
+		{"verify", verifyFigure}, {"interp", interp},
 	}
 
 	if *list {
@@ -520,6 +562,57 @@ func faults() ([]bench.Cell, renderFn) {
 		return nil
 	}
 	return cells, render
+}
+
+// verifyFigure is the load-gate evaluation: every workload's binary under
+// both deployable schemes is verified cold-serial, cold-parallel and
+// verdict-cached, then attacked with the seeded verifymut corpus. The
+// first table is deterministic (counters are pure functions of the bits
+// and -seed, identical under any -parallel/-superblocks/-chain setting);
+// the following lines measure verifier throughput on the host and are
+// marked "(host)" so the nightly byte-diff can strip them. Any mutant the
+// verifier fails to kill by contract fails the whole figure.
+func verifyFigure() ([]bench.Cell, renderFn) {
+	vs := []confllvm.Variant{confllvm.VariantMPX, confllvm.VariantSeg}
+	cells := bench.VerifyCells("verify", bench.Workloads(shortGrid), vs, scenarioSeed)
+	render := func(results []bench.CellResult) error {
+		fmt.Printf("Verify: load-gate checking of every workload binary (seed %d)\n", scenarioSeed)
+		fmt.Printf("%-16s %8s %7s %6s %8s %10s %9s\n",
+			"workload", "variant", "funcs", "stubs", "insts", "code-bytes", "mutants")
+		var surviving int
+		for _, r := range results {
+			if r.Err != nil {
+				return r.Err
+			}
+			rep := r.M.Verify
+			fmt.Printf("%-16s %8v %7d %6d %8d %10d %5d/%-3d\n",
+				r.Cell.Row, r.Cell.Variant, rep.Funcs, rep.Stubs, rep.Insts,
+				rep.CodeBytes, rep.MutantsKilled, rep.MutantsTried)
+			surviving += rep.MutantsTried - rep.MutantsKilled
+			record("verify", r.Cell.Row, r.Cell.Variant.String(), r.M)
+		}
+		fmt.Println()
+		for _, r := range results {
+			rep := r.M.Verify
+			fmt.Printf("%-16s %8v %10.0f funcs/s %12.0f insts/s %6.2fx par %6.1fx cached  (host, %d workers)\n",
+				r.Cell.Row, r.Cell.Variant, rep.FuncsPerSec(), rep.InstsPerSec(),
+				rep.Speedup(), float64(rep.ParallelNS)/float64(max64(rep.CachedNS, 1)),
+				rep.Workers)
+		}
+		fmt.Println()
+		if surviving > 0 {
+			return fmt.Errorf("%d mutant(s) survived the verifier — kill rate below 100%%", surviving)
+		}
+		return nil
+	}
+	return cells, render
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
 }
 
 // interp sweeps every workload with superblock dispatch on and off under

@@ -176,6 +176,16 @@ func Verify(art *Artifact) error {
 	return verify.Verify(art.Image, verify.Options{Strict: art.Strict})
 }
 
+// VerifyArtifact is Verify with explicit verifier options — per-function
+// parallelism and a verdict cache — returning throughput stats alongside
+// the verdict. Strict is always taken from the artifact (the binary was
+// compiled under that contract); the verdict, error and stats are
+// byte-identical for every Parallel setting.
+func VerifyArtifact(art *Artifact, opts verify.Options) (verify.Stats, error) {
+	opts.Strict = art.Strict
+	return verify.VerifyStats(art.Image, opts)
+}
+
 // Verifiable reports whether the artifact was built in a configuration
 // the independent verifier accepts (CFI plus bounds enforcement plus
 // separated stacks — the deployable configurations). Verify on a

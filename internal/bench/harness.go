@@ -3,13 +3,16 @@ package bench
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
 	"time"
 
 	"confllvm"
+	"confllvm/internal/link"
 	"confllvm/internal/machine"
+	"confllvm/internal/verify"
 )
 
 // Measurement is one (workload, variant) run.
@@ -25,6 +28,9 @@ type Measurement struct {
 	// Serve is set by supervised (chaos) cells: the availability report
 	// of a fault-injected serving run.
 	Serve *ServeReport
+	// Verify is set by verify-figure cells: throughput and mutation-kill
+	// counters for checking this cell's binary.
+	Verify *VerifyReport
 }
 
 // MIPS returns the interpreter throughput of this run in millions of
@@ -62,6 +68,24 @@ func timedRun(art *confllvm.Artifact, w *confllvm.World, mc *machine.Config) (*c
 // compileFn is the compiler entry point used by CompileCached; tests
 // swap it to count or fail compilations.
 var compileFn = confllvm.Compile
+
+// gateCache memoizes per-function verify verdicts across every gate
+// check in the process. Workloads share library functions (the trusted
+// shims, the allocator glue), and the chaos supervisor re-verifies
+// near-identical tampered images every epoch — the cache turns those
+// into re-checks of only the functions whose bytes differ.
+var gateCache = verify.NewCache()
+
+// gateVerify is the verify-before-load gate's entry point: the parallel
+// verifier with the process-wide verdict cache. The verdict is
+// byte-identical to serial, uncached verification.
+func gateVerify(img *link.Image, strict bool) (verify.Stats, error) {
+	return verify.VerifyStats(img, verify.Options{
+		Strict:   strict,
+		Parallel: runtime.GOMAXPROCS(0),
+		Cache:    gateCache,
+	})
+}
 
 // artEntry is one singleflight slot in the artifact cache: the first
 // caller of a key compiles inside the entry's once while later callers
@@ -107,8 +131,9 @@ func CompileCached(name string, v confllvm.Variant, prog confllvm.Program) (*con
 			// deployable-configuration artifact the harness will ever
 			// load is machine-checked first. A rejected binary never
 			// reaches the loader — the artifact is discarded and the
-			// error propagates to every caller of this key.
-			if verr := confllvm.Verify(e.art); verr != nil {
+			// error propagates to every caller of this key. The gate runs
+			// the parallel verifier with the shared verdict cache.
+			if _, verr := gateVerify(e.art.Image, e.art.Strict); verr != nil {
 				e.art, e.err = nil, fmt.Errorf("verify-before-load gate rejected binary: %w", verr)
 			}
 		}

@@ -6,7 +6,6 @@ import (
 	"confllvm"
 	"confllvm/internal/chaos"
 	"confllvm/internal/machine"
-	"confllvm/internal/verify"
 )
 
 // FaultPolicy configures a supervised serving run: the fault schedule and
@@ -193,7 +192,7 @@ func Supervise(key string, prog confllvm.Program, v confllvm.Variant,
 		if in.Tamper(epoch) {
 			tampered := chaos.TamperImage(in.Seed, epoch, art.Image)
 			if tampered != nil {
-				if verr := verify.Verify(tampered, verify.Options{Strict: art.Strict}); verr != nil {
+				if _, verr := gateVerify(tampered, art.Strict); verr != nil {
 					rep.VerifyRejections++
 				} else {
 					return nil, fmt.Errorf("%s [%v]: tampered image passed the verify gate", key, v)

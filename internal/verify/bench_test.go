@@ -1,0 +1,75 @@
+package verify_test
+
+import (
+	"runtime"
+	"testing"
+
+	"confllvm"
+	"confllvm/internal/link"
+	"confllvm/internal/verify"
+)
+
+// benchImage compiles the benchmark corpus once; benchmarks verify copies
+// of the same image so verdict-cache sub-benchmarks can't contaminate the
+// cold ones.
+var benchImage = func() func(b *testing.B) *link.Image {
+	var img *link.Image
+	return func(b *testing.B) *link.Image {
+		b.Helper()
+		if img == nil {
+			art, err := confllvm.Compile(confllvm.Program{
+				Sources: []confllvm.Source{{Name: "t.c", Code: testProg}},
+			}, confllvm.VariantMPX)
+			if err != nil {
+				b.Fatalf("compile: %v", err)
+			}
+			img = art.Image
+		}
+		return img
+	}
+}()
+
+func benchVerify(b *testing.B, opts verify.Options, freshCache bool) {
+	img := benchImage(b)
+	stats, err := verify.VerifyStats(img, opts)
+	if err != nil {
+		b.Fatalf("verify: %v", err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o := opts
+		if freshCache {
+			o.Cache = verify.NewCache()
+		}
+		if _, err := verify.VerifyStats(img, o); err != nil {
+			b.Fatalf("verify: %v", err)
+		}
+	}
+	b.StopTimer()
+	sec := b.Elapsed().Seconds()
+	if sec > 0 {
+		b.ReportMetric(float64(stats.Funcs*b.N)/sec, "funcs/s")
+		b.ReportMetric(float64(stats.Insts*b.N)/sec, "insts/s")
+	}
+}
+
+// BenchmarkVerify measures the verifier end to end: serial vs parallel
+// worker pools, and a cold full check vs a warm verdict-cached re-check
+// (the CompileCached load-gate path). funcs/s and insts/s are reported as
+// custom metrics; confbench's verify figure reports the same quantities
+// from the harness side.
+func BenchmarkVerify(b *testing.B) {
+	b.Run("serial", func(b *testing.B) {
+		benchVerify(b, verify.Options{}, false)
+	})
+	b.Run("parallel", func(b *testing.B) {
+		benchVerify(b, verify.Options{Parallel: runtime.NumCPU()}, false)
+	})
+	b.Run("cache-cold", func(b *testing.B) {
+		benchVerify(b, verify.Options{}, true)
+	})
+	b.Run("cache-warm", func(b *testing.B) {
+		cache := verify.NewCache()
+		benchVerify(b, verify.Options{Cache: cache}, false)
+	})
+}

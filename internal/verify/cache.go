@@ -1,0 +1,141 @@
+package verify
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Cache memoizes per-function verdicts across Verify calls. A verdict is
+// keyed by (context hash, span hash, span start):
+//
+//   - the context hash covers everything outside the function's own bytes
+//     that a verdict can depend on — both magic prefixes, every magic
+//     word occurrence (offset and word), the code base, code length, the
+//     externals table, the codegen config, and Strict;
+//   - the span hash covers the function's bytes, from its MCall magic
+//     word to the next procedure entry (or end of code);
+//   - the span start pins the function's code offset (offsets appear in
+//     errors and in the used-return-site lists).
+//
+// Patching one function changes only its own span hash, so re-verifying
+// the image re-checks exactly the changed function — unless the patch
+// adds or removes a magic occurrence, which changes the context hash and
+// conservatively invalidates every function. A procedure whose checks
+// read bytes outside its own span (e.g. a jump into another function) is
+// never cached. Cache is safe for concurrent use and never evicts; scope
+// one per trust domain (the bench harness keeps one for its load gate).
+type Cache struct {
+	mu sync.Mutex
+	m  map[cacheKey]*verdict
+}
+
+// NewCache returns an empty verdict cache.
+func NewCache() *Cache {
+	return &Cache{m: map[cacheKey]*verdict{}}
+}
+
+// Len reports the number of cached verdicts.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
+
+type cacheKey struct {
+	ctx   uint64
+	span  uint64
+	start int
+}
+
+// verdict is an immutable cached procedure result.
+type verdict struct {
+	insts    int
+	stub     bool
+	usedRets []int
+	hasErr   bool
+	errOff   int
+	errMsg   string
+}
+
+func (vd *verdict) err() *Error {
+	if !vd.hasErr {
+		return nil
+	}
+	return &Error{vd.errOff, vd.errMsg}
+}
+
+func (c *Cache) get(k cacheKey) (*verdict, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	vd, ok := c.m[k]
+	return vd, ok
+}
+
+func (c *Cache) put(k cacheKey, vd *verdict) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m[k] = vd
+}
+
+// FNV-1a, the same offset basis/prime as hash/fnv (inlined so hashing a
+// mixed stream of bytes and integers needs no allocation).
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+func fnvByte(h uint64, b byte) uint64 { return (h ^ uint64(b)) * fnvPrime }
+
+func fnvUint64(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h = fnvByte(h, byte(v>>(8*i)))
+	}
+	return h
+}
+
+func hashBytes(b []byte) uint64 {
+	h := uint64(fnvOffset)
+	for _, c := range b {
+		h = fnvByte(h, c)
+	}
+	return h
+}
+
+// contextHash fingerprints the image-wide inputs of every procedure
+// verdict. entries must be the sorted MCall offsets (sorted iteration
+// keeps the hash deterministic).
+func (v *verifier) contextHash(entries []int) uint64 {
+	h := uint64(fnvOffset)
+	h = fnvUint64(h, v.img.MCallPrefix)
+	h = fnvUint64(h, v.img.MRetPrefix)
+	h = fnvUint64(h, v.img.Layout.CodeBase)
+	h = fnvUint64(h, uint64(len(v.code)))
+	h = fnvUint64(h, v.img.Layout.ExtTableBase())
+	h = fnvUint64(h, uint64(len(v.img.Externals)))
+	// The codegen config (bounds scheme, chkstk, stack offset, ...) and
+	// Strict select which checks run; %+v is deterministic for a struct
+	// of scalars.
+	h = hashInto(h, fmt.Sprintf("%+v/strict=%v", v.img.Config, v.opts.Strict))
+	for _, off := range entries {
+		h = fnvUint64(h, uint64(off))
+		h = fnvUint64(h, v.mcallOffs[off])
+	}
+	mrets := make([]int, 0, len(v.mretOffs))
+	for off := range v.mretOffs {
+		mrets = append(mrets, off)
+	}
+	sort.Ints(mrets)
+	for _, off := range mrets {
+		h = fnvUint64(h, uint64(off))
+		h = fnvUint64(h, v.mretOffs[off])
+	}
+	return h
+}
+
+func hashInto(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h = fnvByte(h, s[i])
+	}
+	return h
+}

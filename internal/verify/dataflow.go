@@ -56,10 +56,9 @@ func (v *verifier) checkProc(p *proc) error {
 	}
 
 	conf := v.img.Config
-	if conf.Bounds == codegen.BoundsMPX && !conf.ChkStk {
-		return fmt.Errorf("confverify: MPX configuration requires the _chkstk discipline")
-	}
 	// _chkstk presence: a frame-allocating procedure must check rsp.
+	// (The MPX-requires-ChkStk configuration check happens once in
+	// VerifyStats, not per procedure.)
 	hasSub, hasChk := false, false
 	for _, off := range p.order {
 		in := p.insts[off]

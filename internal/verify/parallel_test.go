@@ -1,0 +1,164 @@
+package verify_test
+
+import (
+	"errors"
+	"testing"
+
+	"confllvm"
+	"confllvm/internal/asm"
+	"confllvm/internal/link"
+	"confllvm/internal/verify"
+)
+
+// decodeSweep walks the code linearly, skipping magic words, and calls fn
+// for every decodable instruction offset (the same sweep the fault-
+// injection tests use to find mutation sites).
+func decodeSweep(img *link.Image, fn func(off int, in asm.Inst, n int)) {
+	magic := img.MagicOffsets()
+	for off := 0; off < len(img.Code); {
+		if magic[off] {
+			off += 8
+			continue
+		}
+		in, n, err := asm.Decode(img.Code, off)
+		if err != nil {
+			off++
+			continue
+		}
+		fn(off, in, n)
+		off += n
+	}
+}
+
+// TestParallelMatchesSerial pins the tentpole's determinism contract on
+// accepting runs: Stats and the verdict are identical for every worker
+// count.
+func TestParallelMatchesSerial(t *testing.T) {
+	for _, v := range []confllvm.Variant{confllvm.VariantMPX, confllvm.VariantSeg} {
+		art := compile(t, v)
+		serial, err := verify.VerifyStats(art.Image, verify.Options{})
+		if err != nil {
+			t.Fatalf("[%v] serial: %v", v, err)
+		}
+		if serial.Funcs == 0 || serial.Insts == 0 || serial.Stubs == 0 {
+			t.Fatalf("[%v] implausible stats: %+v", v, serial)
+		}
+		for _, workers := range []int{2, 4, 8, 64} {
+			par, err := verify.VerifyStats(art.Image, verify.Options{Parallel: workers})
+			if err != nil {
+				t.Fatalf("[%v] parallel=%d: %v", v, workers, err)
+			}
+			if par != serial {
+				t.Errorf("[%v] parallel=%d stats %+v differ from serial %+v", v, workers, par, serial)
+			}
+		}
+	}
+}
+
+// TestParallelFirstErrorDeterminism corrupts *many* procedures at once and
+// demands the parallel verifier always report exactly the error the serial
+// sorted sweep hits first, under every worker count and across repeated
+// runs (scheduling must never leak into the verdict).
+func TestParallelFirstErrorDeterminism(t *testing.T) {
+	art := compile(t, confllvm.VariantMPX)
+	img := art.Image
+
+	// Turn every pop into a plain ret: most procedures now fail, each at
+	// its own offset.
+	code := append([]byte{}, img.Code...)
+	broken := 0
+	decodeSweep(img, func(off int, in asm.Inst, n int) {
+		if in.Op == asm.OpPop {
+			code[off] = byte(asm.OpRet)
+			broken++
+		}
+	})
+	if broken < 2 {
+		t.Fatalf("corpus too small: only %d pops to break", broken)
+	}
+	mut := *img
+	mut.Code = code
+
+	serr := verify.Verify(&mut, verify.Options{})
+	var sverr *verify.Error
+	if !errors.As(serr, &sverr) {
+		t.Fatalf("serial: want a verify.Error, got %v", serr)
+	}
+
+	for _, workers := range []int{2, 4, 8, 64} {
+		for rep := 0; rep < 5; rep++ {
+			perr := verify.Verify(&mut, verify.Options{Parallel: workers})
+			var pverr *verify.Error
+			if !errors.As(perr, &pverr) || *pverr != *sverr {
+				t.Fatalf("parallel=%d rep=%d: verdict %v differs from serial %v",
+					workers, rep, perr, serr)
+			}
+		}
+	}
+}
+
+// TestVerifyStatsCache pins the verdict cache's accounting: a cold run
+// caches every procedure, a warm run serves all of them as hits with
+// otherwise identical stats — serial and parallel alike.
+func TestVerifyStatsCache(t *testing.T) {
+	art := compile(t, confllvm.VariantSeg)
+	cache := verify.NewCache()
+	opts := verify.Options{Cache: cache}
+
+	cold, err := verify.VerifyStats(art.Image, opts)
+	if err != nil {
+		t.Fatalf("cold: %v", err)
+	}
+	if cold.CacheHits != 0 {
+		t.Fatalf("cold run reported %d cache hits", cold.CacheHits)
+	}
+	if cache.Len() != cold.Funcs {
+		t.Fatalf("cached %d verdicts, want one per function (%d)", cache.Len(), cold.Funcs)
+	}
+
+	warm, err := verify.VerifyStats(art.Image, opts)
+	if err != nil {
+		t.Fatalf("warm: %v", err)
+	}
+	if warm.CacheHits != warm.Funcs {
+		t.Errorf("warm run: %d hits, want all %d functions", warm.CacheHits, warm.Funcs)
+	}
+	if warm.Funcs != cold.Funcs || warm.Stubs != cold.Stubs || warm.Insts != cold.Insts {
+		t.Errorf("warm stats %+v differ from cold %+v", warm, cold)
+	}
+
+	pwarm, err := verify.VerifyStats(art.Image, verify.Options{Parallel: 8, Cache: cache})
+	if err != nil {
+		t.Fatalf("parallel warm: %v", err)
+	}
+	if pwarm != warm {
+		t.Errorf("parallel warm stats %+v differ from serial warm %+v", pwarm, warm)
+	}
+}
+
+// TestCacheInvalidatesOnContext pins the context-hash invariant: the same
+// code bytes under a *different* image context (here: strictness) must not
+// share verdicts.
+func TestCacheInvalidatesOnContext(t *testing.T) {
+	art := compile(t, confllvm.VariantSeg)
+	cache := verify.NewCache()
+
+	if _, err := verify.VerifyStats(art.Image, verify.Options{Cache: cache}); err != nil {
+		t.Fatalf("lenient: %v", err)
+	}
+	n := cache.Len()
+	if n == 0 {
+		t.Fatal("nothing cached")
+	}
+	// Strict mode changes the checks, so it must miss every cached verdict
+	// (testProg branches on private data, so strict mode also rejects —
+	// from a fresh check, not a stale lenient verdict).
+	strictStats, strictErr := verify.VerifyStats(art.Image, verify.Options{Strict: true, Cache: cache})
+	if strictErr == nil && strictStats.CacheHits != 0 {
+		t.Errorf("strict run served %d verdicts cached by the lenient run", strictStats.CacheHits)
+	}
+	freshErr := verify.Verify(art.Image, verify.Options{Strict: true})
+	if (strictErr == nil) != (freshErr == nil) {
+		t.Errorf("cached strict verdict %v differs from fresh %v", strictErr, freshErr)
+	}
+}

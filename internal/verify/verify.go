@@ -18,6 +18,16 @@
 // register allocation, no optimization — just decoding and a lattice
 // dataflow. It verifies the deployable configurations (CFI + MPX or
 // segmentation with separated stacks).
+//
+// Procedures are independent verification units: each is disassembled and
+// checked against only the image-wide context (code bytes, magic-word
+// table, layout, config), never against another procedure's in-progress
+// state. That makes checking streamable — Options.Parallel fans
+// procedures over a worker pool with byte-identical output (the reported
+// error is always the one the serial verifier would hit first), and
+// Options.Cache memoizes per-function verdicts so re-verifying a patched
+// image only re-checks the functions whose bytes changed. See README.md
+// in this package for the invariants.
 package verify
 
 import (
@@ -35,6 +45,27 @@ type Options struct {
 	// Strict additionally rejects conditional branches on private flags
 	// (implicit-flow-free mode).
 	Strict bool
+	// Parallel is the number of procedures checked concurrently; values
+	// <= 1 select the serial path. The accept/reject verdict, the
+	// reported error and Stats are byte-identical for every value.
+	Parallel int
+	// Cache, when non-nil, memoizes per-function verdicts across Verify
+	// calls keyed by the function's code bytes and the image context, so
+	// re-verifying a patched image only re-checks changed functions.
+	Cache *Cache
+}
+
+// Stats summarizes one verification run (all simulated-input quantities,
+// identical under any Parallel setting).
+type Stats struct {
+	// Funcs is the number of procedure entries verified (stubs included).
+	Funcs int
+	// Stubs counts import stubs among Funcs.
+	Stubs int
+	// Insts is the total number of instructions decoded and checked.
+	Insts int
+	// CacheHits counts verdicts served from Options.Cache.
+	CacheHits int
 }
 
 // Error is a verification rejection.
@@ -50,20 +81,33 @@ func (e *Error) Error() string {
 // Verify checks a linked image. A nil return means the binary carries all
 // the instrumentation needed for confidentiality.
 func Verify(img *link.Image, opts Options) error {
+	_, err := VerifyStats(img, opts)
+	return err
+}
+
+// VerifyStats is Verify returning throughput counters alongside the
+// verdict. Stats is only meaningful when err is nil.
+func VerifyStats(img *link.Image, opts Options) (Stats, error) {
 	conf := img.Config
 	if !conf.CFI {
-		return fmt.Errorf("confverify: only CFI-enabled configurations are verifiable")
+		return Stats{}, fmt.Errorf("confverify: only CFI-enabled configurations are verifiable")
 	}
 	if conf.Bounds == codegen.BoundsNone {
-		return fmt.Errorf("confverify: configuration carries no bounds enforcement")
+		return Stats{}, fmt.Errorf("confverify: configuration carries no bounds enforcement")
 	}
 	if !conf.SeparateStacks {
-		return fmt.Errorf("confverify: single-stack ablation is not a verifiable configuration")
+		return Stats{}, fmt.Errorf("confverify: single-stack ablation is not a verifiable configuration")
+	}
+	if conf.Bounds == codegen.BoundsMPX && !conf.ChkStk {
+		return Stats{}, fmt.Errorf("confverify: MPX configuration requires the _chkstk discipline")
 	}
 	v := &verifier{img: img, opts: opts, code: img.Code}
 	return v.run()
 }
 
+// verifier holds the image-wide context. After scanMagic it is read-only:
+// checkOne never mutates it, which is what makes procedures checkable
+// concurrently.
 type verifier struct {
 	img  *link.Image
 	opts Options
@@ -72,59 +116,9 @@ type verifier struct {
 	mcallOffs map[int]uint64 // offset -> magic word
 	mretOffs  map[int]uint64
 
-	// usedMagic tracks magic occurrences legitimized during disassembly.
-	usedMagic map[int]bool
-}
-
-func (v *verifier) run() error {
-	v.scanMagic()
-
-	// Every procedure entry: disassemble and check.
-	entries := make([]int, 0, len(v.mcallOffs))
-	for off := range v.mcallOffs {
-		entries = append(entries, off)
-	}
-	sort.Ints(entries)
-	v.usedMagic = map[int]bool{}
-	for off := range v.mcallOffs {
-		v.usedMagic[off] = true // entry magic words are legitimate
-	}
-
-	for _, off := range entries {
-		p, err := v.disassemble(off)
-		if err != nil {
-			return err
-		}
-		if p.isStub {
-			continue
-		}
-		if err := v.checkProc(p); err != nil {
-			return err
-		}
-	}
-
-	// Exit shims: MRet word immediately followed by exit.
-	for off := range v.mretOffs {
-		if v.usedMagic[off] {
-			continue
-		}
-		if inst, _, err := asm.Decode(v.code, off+8); err == nil && inst.Op == asm.OpExit {
-			v.usedMagic[off] = true
-		}
-	}
-
-	// Any magic occurrence we did not legitimize is suspicious.
-	for off := range v.mcallOffs {
-		if !v.usedMagic[off] {
-			return &Error{off, "stray MCall magic word"}
-		}
-	}
-	for off := range v.mretOffs {
-		if !v.usedMagic[off] {
-			return &Error{off, "stray MRet magic word"}
-		}
-	}
-	return nil
+	// ctxHash fingerprints everything a procedure verdict depends on
+	// besides its own span bytes (only computed when Options.Cache is set).
+	ctxHash uint64
 }
 
 // scanMagic finds every occurrence of the two prefixes at every byte
@@ -165,6 +159,37 @@ type proc struct {
 	order    []int // sorted instruction offsets
 	leaders  map[int]bool
 	isStub   bool
+	// usedRets lists the return-site MRet magic offsets this procedure
+	// legitimized (collected per-proc so disassembly never mutates shared
+	// verifier state; merged after all procedures pass).
+	usedRets []int
+	// lo/hi is the half-open range of code offsets this procedure's
+	// checks read (its magic word, every decoded instruction). A verdict
+	// is only cacheable when the range stays inside the procedure's span.
+	lo, hi int
+}
+
+// touch widens the procedure's read extent to cover [off, off+n).
+func (p *proc) touch(off, n int) {
+	if off < p.lo {
+		p.lo = off
+	}
+	if off+n > p.hi {
+		p.hi = off + n
+	}
+}
+
+// regsValid reports whether every register field of a decoded instruction
+// is in range. asm.Decode does not validate operand bytes, so a corrupted
+// image can name register 139; the dataflow pass indexes 16-entry taint
+// arrays by these fields and must never see such a value (found by
+// FuzzVerifyImage). Unused fields are zero after decoding, which the
+// checks below accept.
+func regsValid(in *asm.Inst) bool {
+	return in.Dst < asm.NumRegs && in.Src < asm.NumRegs &&
+		in.FDst < asm.NumFRegs && in.FSrc < asm.NumFRegs &&
+		(in.M.Base == asm.NoReg || in.M.Base < asm.NumRegs) &&
+		(in.M.Index == asm.NoReg || in.M.Index < asm.NumRegs)
 }
 
 // disassemble decodes the procedure whose MCall magic word is at magicOff,
@@ -174,6 +199,8 @@ func (v *verifier) disassemble(magicOff int) (*proc, error) {
 		entryOff: magicOff + 8,
 		bits:     uint8(v.mcallOffs[magicOff] & 31),
 		insts:    map[int]*inst{},
+		lo:       magicOff,
+		hi:       magicOff + 8,
 	}
 	p.leaders = map[int]bool{p.entryOff: true}
 
@@ -195,29 +222,40 @@ func (v *verifier) disassemble(magicOff int) (*proc, error) {
 		}
 		in, n, err := asm.Decode(v.code, off)
 		if err != nil {
-			return nil, &Error{off, "undecodable instruction: " + err.Error()}
+			p.touch(off, 1)
+			return p, &Error{off, "undecodable instruction: " + err.Error()}
 		}
+		p.touch(off, n)
 		pi := &inst{Inst: in, off: off, size: n, retSite: -1}
 		p.insts[off] = pi
 
 		switch in.Op {
 		case asm.OpRet:
-			return nil, &Error{off, "plain ret is forbidden under taint-aware CFI"}
+			return p, &Error{off, "plain ret is forbidden under taint-aware CFI"}
 		case asm.OpSyscall:
-			return nil, &Error{off, "syscall in untrusted code"}
+			return p, &Error{off, "syscall in untrusted code"}
 		case asm.OpWrFS, asm.OpWrGS:
-			return nil, &Error{off, "segment register write in untrusted code"}
+			return p, &Error{off, "segment register write in untrusted code"}
+		}
+		// Operand sanity comes after the forbidden-opcode rejections (the
+		// opcode is the security-relevant fact) but before anything indexes
+		// a register field.
+		if !regsValid(&in) {
+			return p, &Error{off, "instruction names an out-of-range register"}
+		}
+
+		switch in.Op {
 		case asm.OpJmp:
 			t, ok := toOff(uint64(in.Imm))
 			if !ok {
-				return nil, &Error{off, "jump target outside code"}
+				return p, &Error{off, "jump target outside code"}
 			}
 			p.leaders[t] = true
 			work = append(work, t)
 		case asm.OpJcc:
 			t, ok := toOff(uint64(in.Imm))
 			if !ok {
-				return nil, &Error{off, "jcc target outside code"}
+				return p, &Error{off, "jcc target outside code"}
 			}
 			p.leaders[t] = true
 			p.leaders[off+n] = true
@@ -227,9 +265,10 @@ func (v *verifier) disassemble(magicOff int) (*proc, error) {
 			// resumes after it.
 			rs := off + n
 			if _, ok := v.mretOffs[rs]; !ok {
-				return nil, &Error{off, "call without a return-site MRet magic word"}
+				return p, &Error{off, "call without a return-site MRet magic word"}
 			}
-			v.usedMagic[rs] = true
+			p.usedRets = append(p.usedRets, rs)
+			p.touch(rs, 8)
 			pi.retSite = rs
 			p.leaders[rs+8] = true
 			work = append(work, rs+8)
@@ -237,10 +276,10 @@ func (v *verifier) disassemble(magicOff int) (*proc, error) {
 				// Direct call target must be a magic-preceded entry.
 				t, ok := toOff(uint64(in.Imm))
 				if !ok || t < 8 {
-					return nil, &Error{off, "call target outside code"}
+					return p, &Error{off, "call target outside code"}
 				}
 				if _, isEntry := v.mcallOffs[t-8]; !isEntry {
-					return nil, &Error{off, "call target is not a procedure entry"}
+					return p, &Error{off, "call target is not a procedure entry"}
 				}
 			}
 		case asm.OpJmpR, asm.OpTrap, asm.OpExit:
@@ -270,7 +309,7 @@ func (v *verifier) disassemble(magicOff int) (*proc, error) {
 				p.isStub = true
 				return p, nil
 			}
-			return nil, &Error{i0.off, "stub jumps through an address outside the externals table"}
+			return p, &Error{i0.off, "stub jumps through an address outside the externals table"}
 		}
 	}
 	return p, nil

@@ -37,11 +37,19 @@ func LoadArtifactFile(path string) (*Artifact, error) {
 // VerifyImageFile runs ConfVerify on an on-disk image (the standalone
 // confverify tool: no compiler state, just the binary and its prefixes).
 func VerifyImageFile(path string, strict bool) error {
+	_, err := VerifyImageFileStats(path, verify.Options{Strict: strict})
+	return err
+}
+
+// VerifyImageFileStats is VerifyImageFile with explicit verifier options
+// (parallelism, verdict cache) and throughput stats — the entry point
+// behind confverify's -par and -bench flags.
+func VerifyImageFileStats(path string, opts verify.Options) (verify.Stats, error) {
 	img, err := link.LoadFile(path)
 	if err != nil {
-		return err
+		return verify.Stats{}, err
 	}
-	return verify.Verify(img, verify.Options{Strict: strict})
+	return verify.VerifyStats(img, opts)
 }
 
 // ParseVariant resolves a configuration name (as printed by String).
