@@ -4,6 +4,7 @@
 //
 //	benchhistory [-bench benchrun.txt] [-interp BENCH_interp.json]
 //	             [-faults BENCH_faults.json] [-verify BENCH_verify.json]
+//	             [-cluster BENCH_cluster.json]
 //	             [-out BENCH_history.jsonl] [-commit SHA]
 //
 // It reads artifacts the nightly CI job already produces — the
@@ -24,8 +25,11 @@
 // -faults is given); verify_funcs_per_sec is the geometric mean of the
 // verify figure's per-binary checking throughput (present only when
 // -verify is given — it tracks the load gate's cost over time the same
-// way interp_geomean tracks the interpreter's). -commit defaults to
-// $GITHUB_SHA, then "local".
+// way interp_geomean tracks the interpreter's); cluster_reqs_per_sec is
+// the geometric mean of the cluster figure's aggregate simulated req/s
+// across the shard/skew grid (present only when -cluster is given — a
+// deterministic quantity, so any drift is a real behavior change, not
+// host noise). -commit defaults to $GITHUB_SHA, then "local".
 // Appending (not rewriting) keeps the file a grep-able trajectory; rows
 // carry the commit so gaps and reruns are self-describing.
 package main
@@ -67,6 +71,11 @@ type historyRow struct {
 	// per-binary parallel checking throughput in functions per host second
 	// (0 when the verify report was not supplied).
 	VerifyFuncsPerSec float64 `json:"verify_funcs_per_sec,omitempty"`
+	// ClusterReqsPerSec tracks the cluster figure: geometric mean of the
+	// aggregate simulated req/s across the shard/skew grid (0 when the
+	// cluster report was not supplied). Unlike the host-time columns this
+	// is fully deterministic — drift means behavior changed.
+	ClusterReqsPerSec float64 `json:"cluster_reqs_per_sec,omitempty"`
 }
 
 // benchRunMIPS extracts the MIPS metric of the BenchmarkRun/superblock
@@ -210,11 +219,47 @@ func verifyFuncsGeomean(path string) (float64, error) {
 	return math.Exp(logSum / float64(n)), nil
 }
 
+// clusterReport mirrors the subset of the cluster-figure JSON the
+// history row needs.
+type clusterReport struct {
+	Rows []struct {
+		Figure        string `json:"figure"`
+		AggReqsPerSec uint64 `json:"agg_reqs_per_sec"`
+	} `json:"rows"`
+}
+
+// clusterReqsGeomean returns the geometric mean of the cluster figure's
+// aggregate simulated req/s across the grid, skipping empty cells.
+func clusterReqsGeomean(path string) (float64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	var rep clusterReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return 0, fmt.Errorf("parse %s: %w", path, err)
+	}
+	var logSum float64
+	var n int
+	for _, r := range rep.Rows {
+		if r.Figure != "cluster" || r.AggReqsPerSec == 0 {
+			continue
+		}
+		logSum += math.Log(float64(r.AggReqsPerSec))
+		n++
+	}
+	if n == 0 {
+		return 0, fmt.Errorf("no cluster rows with nonzero req/s in %s", path)
+	}
+	return math.Exp(logSum / float64(n)), nil
+}
+
 func main() {
 	bench := flag.String("bench", "benchrun.txt", "go test -bench BenchmarkRun output")
 	interp := flag.String("interp", "BENCH_interp.nightly.json", "confbench -figure interp -json report")
 	faults := flag.String("faults", "", "confbench -figure faults -json report (optional)")
 	verifyIn := flag.String("verify", "", "confbench -figure verify -json report (optional)")
+	clusterIn := flag.String("cluster", "", "confbench -figure cluster -json report (optional)")
 	out := flag.String("out", "BENCH_history.jsonl", "history file to append to")
 	commit := flag.String("commit", "", "commit SHA for the row (default: $GITHUB_SHA, then \"local\")")
 	flag.Parse()
@@ -259,6 +304,14 @@ func main() {
 			os.Exit(1)
 		}
 		row.VerifyFuncsPerSec = fps
+	}
+	if *clusterIn != "" {
+		crps, err := clusterReqsGeomean(*clusterIn)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchhistory: %v\n", err)
+			os.Exit(1)
+		}
+		row.ClusterReqsPerSec = crps
 	}
 	line, err := json.Marshal(row)
 	if err != nil {

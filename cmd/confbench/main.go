@@ -3,10 +3,14 @@
 //
 // Usage:
 //
-//	confbench [-figure all|5|6|7|8|ldap|throughput|scenarios|faults|verify|interp]
+//	confbench [-figure all|5|6|7|8|ldap|throughput|scenarios|faults|verify|cluster|interp]
 //	          [-superblocks=true|false] [-chain on|off] [-parallel N]
 //	          [-seed N] [-short] [-list]
 //	          [-json] [-out BENCH_interp.json]
+//
+// Figures register in one place (figureRegistry); the -figure usage
+// string and the -list output derive from it, so the line above and the
+// flag help cannot drift from the real set.
 //
 // The "scenarios" figure is the seeded traffic sweep: internal/scenario
 // expands a grid of (request multiplier x hit ratio) specs for the
@@ -32,6 +36,15 @@
 // host time and carry a "(host)" marker so diffs can strip them. A
 // mutation kill rate below 100% fails the figure: a surviving mutant is
 // a verifier soundness hole.
+//
+// The "cluster" figure lifts the single-machine assumption: a
+// deterministic router partitions the KV key space across 1/4/16 shard
+// machines (every shard serving through the same gate-verified binary),
+// client skew (uniform vs seeded zipf) stresses routing balance, and
+// cross-shard scans fan out into per-owner sub-requests. Shards run as
+// ordinary matrix cells; per-cluster rows merge their simulated clocks
+// with commutative folds (aggregate req/s = client requests over the
+// slowest shard), so the table inherits the full determinism contract.
 //
 // Every (figure, workload, variant) cell is an independent simulation —
 // its own compiled artifact and its own machine.Machine — so the whole
@@ -116,6 +129,20 @@ type benchRow struct {
 	VerifyInstsPerSec float64 `json:"verify_insts_per_sec,omitempty"`
 	MutantsTried      int     `json:"mutants_tried,omitempty"`
 	MutantsKilled     int     `json:"mutants_killed,omitempty"`
+
+	// Cluster columns, set only for cluster-figure rows. Each such row is
+	// one whole cluster (shard measurements merged by commutative clock
+	// folds); wall_cycles is the cluster wall clock (slowest shard) and
+	// instrs the cross-shard sum. All simulated quantities.
+	Shards         int    `json:"shards,omitempty"`
+	ClientReqs     int    `json:"client_reqs,omitempty"`
+	AggReqsPerSec  uint64 `json:"agg_reqs_per_sec,omitempty"`
+	ShardReqMin    int    `json:"shard_req_min,omitempty"`
+	ShardReqMax    int    `json:"shard_req_max,omitempty"`
+	ShardCyclesMin uint64 `json:"shard_cycles_min,omitempty"`
+	ShardCyclesMax uint64 `json:"shard_cycles_max,omitempty"`
+	ScanSplits     int    `json:"scan_splits,omitempty"`
+	CrossScans     int    `json:"cross_scans,omitempty"`
 }
 
 // benchReport is the BENCH_interp.json schema.
@@ -196,6 +223,17 @@ func record(figure, workload, variant string, m *bench.Measurement) {
 		row.MutantsTried = rep.MutantsTried
 		row.MutantsKilled = rep.MutantsKilled
 	}
+	if rep := m.Cluster; rep != nil {
+		row.Shards = rep.Shards
+		row.ClientReqs = rep.ClientRequests
+		row.AggReqsPerSec = rep.AggReqsPerSec()
+		row.ShardReqMin = rep.MinShardReqs
+		row.ShardReqMax = rep.MaxShardReqs
+		row.ShardCyclesMin = rep.MinShardCycles
+		row.ShardCyclesMax = rep.MaxShardCycles
+		row.ScanSplits = rep.ScanSplits
+		row.CrossScans = rep.CrossScans
+	}
 	report.Rows = append(report.Rows, row)
 }
 
@@ -210,8 +248,42 @@ type figureSpec struct {
 	build func() ([]bench.Cell, renderFn)
 }
 
+// figureRegistry is the single source of truth for -figure: the flag's
+// usage string, the -list output and the selection logic all derive from
+// this slice, so registering a figure here is the *only* step — a guard
+// test pins that every registered figure is listed and that unknown
+// names error with a pointer to -list.
+var figureRegistry = []figureSpec{
+	{"5", fig5}, {"6", fig6}, {"ldap", ldap}, {"7", fig7}, {"8", fig8},
+	{"throughput", throughput}, {"scenarios", scenarios}, {"faults", faults},
+	{"verify", verifyFigure}, {"cluster", cluster}, {"interp", interp},
+}
+
+// figureNames renders the registry as the -figure usage enumeration.
+func figureNames() string {
+	names := "all"
+	for _, f := range figureRegistry {
+		names += ", " + f.name
+	}
+	return names
+}
+
+// figuresFor resolves a -figure selection against the registry ("all" =
+// every figure, in registry order).
+func figuresFor(name string) ([]figureSpec, error) {
+	if name == "all" {
+		return figureRegistry, nil
+	}
+	for _, f := range figureRegistry {
+		if f.name == name {
+			return []figureSpec{f}, nil
+		}
+	}
+	return nil, fmt.Errorf("unknown figure %q (run confbench -list for the valid set)", name)
+}
+
 func main() {
-	figure := flag.String("figure", "all", "which figure to regenerate: all, 5, 6, 7, 8, ldap, throughput, scenarios, faults, verify, interp")
+	figure := flag.String("figure", "all", "which figure to regenerate: "+figureNames())
 	superblocks := flag.Bool("superblocks", true, "dispatch basic blocks (false = per-instruction stepping)")
 	chainFlag := flag.String("chain", "on", "direct block chaining: on|off (escape hatch; only meaningful with -superblocks)")
 	parallel := flag.Int("parallel", 0, "worker goroutines for the bench matrix (0 = GOMAXPROCS, 1 = serial)")
@@ -255,16 +327,10 @@ func main() {
 		}
 	}
 
-	figures := []figureSpec{
-		{"5", fig5}, {"6", fig6}, {"ldap", ldap}, {"7", fig7}, {"8", fig8},
-		{"throughput", throughput}, {"scenarios", scenarios}, {"faults", faults},
-		{"verify", verifyFigure}, {"interp", interp},
-	}
-
 	if *list {
 		fmt.Println("figures:")
 		fmt.Println("  all")
-		for _, f := range figures {
+		for _, f := range figureRegistry {
 			fmt.Printf("  %s\n", f.name)
 		}
 		fmt.Println("workloads:")
@@ -272,6 +338,12 @@ func main() {
 			fmt.Printf("  %-22s (artifact key %q)\n", wl.Name, wl.Key)
 		}
 		return
+	}
+
+	selected, err := figuresFor(*figure)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "confbench: %v\n", err)
+		os.Exit(2)
 	}
 
 	// Build the combined cell matrix for the selected figures, remembering
@@ -283,19 +355,10 @@ func main() {
 		render renderFn
 	}
 	var pend []pending
-	known := false
-	for _, f := range figures {
-		if *figure != "all" && *figure != f.name {
-			continue
-		}
-		known = true
+	for _, f := range selected {
 		cs, render := f.build()
 		pend = append(pend, pending{f.name, len(cells), len(cells) + len(cs), render})
 		cells = append(cells, cs...)
-	}
-	if !known {
-		fmt.Fprintf(os.Stderr, "confbench: unknown figure %q (run confbench -list for the valid set)\n", *figure)
-		os.Exit(2)
 	}
 
 	start := time.Now()
@@ -603,6 +666,66 @@ func verifyFigure() ([]bench.Cell, renderFn) {
 		if surviving > 0 {
 			return fmt.Errorf("%d mutant(s) survived the verifier — kill rate below 100%%", surviving)
 		}
+		return nil
+	}
+	return cells, render
+}
+
+// cluster is the sharded-cluster figure: the confidential KV store's key
+// space partitioned across {1, 4, 16} machines, swept over request
+// multipliers (1x/10x/100x) and client key skews (uniform, zipf). The
+// deterministic router in internal/scenario splits one seeded client
+// stream into per-shard streams (cross-shard scans fan out into per-owner
+// sub-requests) and predicts each shard's output vector; every shard then
+// runs as an ordinary matrix cell on the shared verified artifact, and
+// the render merges each cluster's shard measurements with commutative
+// clock folds — aggregate req/s is client requests over the slowest
+// shard, and the min/max columns show routing balance. Every printed
+// value is a simulated quantity: the table is byte-identical across
+// -parallel, -superblocks and -chain settings.
+func cluster() ([]bench.Cell, renderFn) {
+	const v = confllvm.VariantMPX // the deployable, verifiable configuration
+	cts := bench.ClusterTraffics(scenario.ClusterGrid(shortGrid, scenarioSeed))
+	cells := bench.ClusterCells("cluster", cts, v, &mcfg)
+	render := func(results []bench.CellResult) error {
+		fmt.Printf("Cluster: sharded confidential KV store, aggregate req/s at a %.1f GHz simulated clock (%v, seed %d)\n",
+			float64(bench.SimClockHz)/1e9, v, scenarioSeed)
+		fmt.Printf("%-18s %3s %6s %10s %13s %23s %7s %7s\n",
+			"cluster", "sh", "reqs", "agg-req/s", "shard-reqs", "shard-cycles", "splits", "xscans")
+		idx := 0
+		for _, ct := range cts {
+			ms := make([]*bench.Measurement, ct.Spec.Shards)
+			var hostNS int64
+			for sh := range ms {
+				r := results[idx]
+				idx++
+				if r.Err != nil {
+					return r.Err
+				}
+				ms[sh] = r.M
+				hostNS += r.M.HostNS
+			}
+			rep, err := bench.MergeShardClocks(ct, ms)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%-18s %3d %6d %10d %5d/%-7d %11d/%-11d %7d %7d\n",
+				ct.Spec.Name, rep.Shards, rep.ClientRequests, rep.AggReqsPerSec(),
+				rep.MinShardReqs, rep.MaxShardReqs,
+				rep.MinShardCycles, rep.MaxShardCycles,
+				rep.ScanSplits, rep.CrossScans)
+			// One JSON row per cluster: wall = merged cluster clock, instrs
+			// = cross-shard sum, host time = summed shard run times.
+			m := &bench.Measurement{
+				Variant: v,
+				Wall:    rep.WallCycles,
+				HostNS:  hostNS,
+				Cluster: rep,
+			}
+			m.Stats.Instrs = rep.Instrs
+			record("cluster", ct.Spec.Name, v.String(), m)
+		}
+		fmt.Println()
 		return nil
 	}
 	return cells, render

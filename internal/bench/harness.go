@@ -31,6 +31,9 @@ type Measurement struct {
 	// Verify is set by verify-figure cells: throughput and mutation-kill
 	// counters for checking this cell's binary.
 	Verify *VerifyReport
+	// Cluster is set by cluster-figure render code after merging the
+	// per-shard measurements of one cluster row.
+	Cluster *ClusterReport
 }
 
 // MIPS returns the interpreter throughput of this run in millions of

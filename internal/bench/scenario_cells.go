@@ -56,6 +56,8 @@ func ScenarioWorkload(spec scenario.Spec) Workload {
 		return KVWorkload(spec)
 	case scenario.WorkloadTLSH:
 		return TLSHWorkload(spec)
+	case scenario.WorkloadMerkleFS:
+		return MerkleFSWorkload(spec)
 	}
 	panic("bench: unknown scenario workload family " + spec.Workload)
 }

@@ -228,6 +228,7 @@ func Workloads(short bool) []Workload {
 		// the differential and fuzz harnesses with zero extra wiring.
 		KVWorkload(scenario.DefaultKV(short)),
 		TLSHWorkload(scenario.DefaultTLSH(short)),
+		MerkleFSWorkload(scenario.DefaultMerkleFS(short)),
 	)
 	return wls
 }

@@ -1,0 +1,175 @@
+package scenario
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// This file is the cluster half of the traffic engine: a deterministic
+// router that partitions one scenario's key space across Spec.Shards
+// machines. Routing is part of the model, not of the benchmark harness —
+// the same splitmix64-seeded stream a single machine would serve is
+// split, packet by packet, into per-shard streams, and the generator
+// predicts every shard's output vector exactly. Nothing here draws new
+// randomness: Cluster(s) is a pure function of the Spec, so per-shard
+// wire bytes and expectations are byte-identical on any host, under any
+// scheduling, at any worker count.
+//
+// Partitioning rule: the key space splits into contiguous blocks of
+// shardBlock(s) keys and block b belongs to shard b % Shards. Contiguous
+// blocks keep scans cheap (a scan touches one shard per block it
+// crosses, expressible as an ordinary OpScan on that shard); the modulo
+// wrap gives miss keys (which lie above the key space by construction) a
+// deterministic owner without piling them all onto the last shard.
+
+// ClusterTraffic is one scenario routed across a cluster: per-shard wire
+// streams, per-shard predicted output vectors, and the routing metadata
+// the figure's balance and scan-cost columns report.
+type ClusterTraffic struct {
+	// Spec is the normalized spec the cluster was routed from.
+	Spec Spec
+	// Wire[i] is shard i's packet stream, in global emit order.
+	Wire [][][]byte
+	// Expect[i] is shard i's predicted output vector
+	// [processed, getHits, getMisses, puts, delHits, scanHits].
+	Expect [][]int64
+	// Requests[i] = len(Wire[i]): shard i's routed request count.
+	Requests []int
+	// GlobalExpect is the unrouted stream's prediction (what one big
+	// machine would report); per-shard counters sum back to it.
+	GlobalExpect []int64
+	// ClientRequests is the client-visible request count — the req/s
+	// numerator. Scan fan-out inflates routed shard requests above it.
+	ClientRequests int
+	// ScanSplits counts the extra shard sub-requests cross-shard scans
+	// created (a scan touching k shards adds k-1).
+	ScanSplits int
+	// CrossScans counts scans that touched more than one shard.
+	CrossScans int
+}
+
+// shardBlock is the contiguous key width owned by one shard before the
+// block pattern repeats.
+func shardBlock(s Spec) uint64 {
+	n := uint64(s.Shards)
+	if n == 0 {
+		n = 1
+	}
+	return (s.KeySpace + n - 1) / n
+}
+
+// ShardOf returns the owning shard of a key under the cluster's
+// contiguous-block partitioning. Keys above the key space (miss traffic)
+// wrap deterministically via the modulo.
+func (s Spec) ShardOf(key uint64) int {
+	s = s.normalized()
+	if s.Shards <= 1 {
+		return 0
+	}
+	return int(key / shardBlock(s) % uint64(s.Shards))
+}
+
+// Cluster routes a scenario across Spec.Shards machines: it generates the
+// family's single-machine stream (identical bytes to Traffic) and splits
+// it into per-shard streams, decomposing cross-shard scans into one
+// contiguous sub-scan per touched shard. Only the KV family clusters —
+// it is the only keyed workload.
+func Cluster(s Spec) (*ClusterTraffic, error) {
+	if s.Workload != WorkloadKV {
+		return nil, fmt.Errorf("scenario: workload family %q cannot be sharded (only %q is keyed)",
+			s.Workload, WorkloadKV)
+	}
+	if err := s.validSkew(); err != nil {
+		return nil, err
+	}
+	s = s.normalized()
+	global, globalExpect := kvTraffic(s)
+	blk := shardBlock(s)
+	owner := func(key uint64) int {
+		if s.Shards <= 1 {
+			return 0
+		}
+		return int(key / blk % uint64(s.Shards))
+	}
+
+	ct := &ClusterTraffic{
+		Spec:           s,
+		Wire:           make([][][]byte, s.Shards),
+		GlobalExpect:   globalExpect,
+		ClientRequests: len(global),
+	}
+	for _, pkt := range global {
+		op := binary.LittleEndian.Uint64(pkt[0:])
+		key := binary.LittleEndian.Uint64(pkt[8:])
+		if op != OpScan {
+			sh := owner(key)
+			ct.Wire[sh] = append(ct.Wire[sh], pkt)
+			continue
+		}
+		// Scans split at ownership boundaries into maximal contiguous
+		// runs, each an ordinary OpScan on its owner. Emit order follows
+		// key order, so the split is deterministic.
+		span := binary.LittleEndian.Uint64(pkt[16:])
+		pieces := 0
+		for start := key; start < key+span; {
+			sh := owner(start)
+			end := start + 1
+			for end < key+span && owner(end) == sh {
+				end++
+			}
+			sub := make([]byte, 24)
+			le(sub, 0, OpScan)
+			le(sub, 8, start)
+			le(sub, 16, end-start)
+			ct.Wire[sh] = append(ct.Wire[sh], sub)
+			pieces++
+			start = end
+		}
+		if pieces > 1 {
+			ct.ScanSplits += pieces - 1
+			ct.CrossScans++
+		}
+	}
+
+	// Predict each shard's output vector by replaying its stream against
+	// a per-shard store model. Keys route stably, so each shard's model
+	// is exactly the global model restricted to its key range and the
+	// per-shard counters decompose the global ones.
+	ct.Expect = make([][]int64, s.Shards)
+	ct.Requests = make([]int, s.Shards)
+	for i, wire := range ct.Wire {
+		ct.Requests[i] = len(wire)
+		store := map[uint64]bool{}
+		var processed, hits, misses, puts, delhits, scanhits int64
+		for _, pkt := range wire {
+			op := binary.LittleEndian.Uint64(pkt[0:])
+			a := binary.LittleEndian.Uint64(pkt[8:])
+			switch op {
+			case OpGet:
+				if store[a] {
+					hits++
+				} else {
+					misses++
+				}
+			case OpPut:
+				store[a] = true
+				puts++
+			case OpDel:
+				if store[a] {
+					delete(store, a)
+					delhits++
+				}
+			case OpScan:
+				span := binary.LittleEndian.Uint64(pkt[16:])
+				for k := a; k < a+span; k++ {
+					if store[k] {
+						scanhits++
+					}
+				}
+			}
+			processed++
+		}
+		ct.Expect[i] = []int64{processed, hits, misses, puts, delhits, scanhits}
+	}
+	return ct, nil
+}

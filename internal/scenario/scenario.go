@@ -30,6 +30,38 @@ const (
 	// WorkloadTLSH is the TLS-ish handshake: nonce exchange, key-schedule
 	// mixing in private memory, transcript hash on the public side.
 	WorkloadTLSH = "tlsh"
+	// WorkloadMerkleFS is the confidential merkle block store: private
+	// block contents, public per-block integrity hashes over the wire
+	// ciphertext, read/write over T's handlers.
+	WorkloadMerkleFS = "merklefs"
+)
+
+// Client key-popularity distributions understood by the KV-family
+// generators. The empty string means SkewUniform.
+const (
+	// SkewUniform draws keys uniformly from the key space (the default;
+	// byte-identical to the pre-skew streams).
+	SkewUniform = "uniform"
+	// SkewZipf is a zipf-like power law: a geometric level (counting
+	// trailing zero bits of one splitmix64 draw, integer-only — never
+	// floats, so streams cannot drift across hosts) halves the candidate
+	// prefix, concentrating traffic on low keys.
+	SkewZipf = "zipf"
+	// SkewHot sends hotTrafficPct percent of draws to the first
+	// hotSetSize keys and the rest uniform — the cache-adversarial
+	// hot-key shape.
+	SkewHot = "hot"
+)
+
+const (
+	// hotSetSize is the number of distinct keys in the SkewHot hot set
+	// (the lowest keys of the space).
+	hotSetSize = 8
+	// hotTrafficPct is the share of SkewHot draws aimed at the hot set.
+	hotTrafficPct = 90
+	// zipfMaxLevel caps the geometric level of SkewZipf draws so the
+	// candidate prefix never collapses below a single key.
+	zipfMaxLevel = 16
 )
 
 // MaxValueLen is the largest value a KV request may carry; it must match
@@ -72,6 +104,18 @@ type Spec struct {
 	ValueMin, ValueMax int
 	// ScanSpan is the key width of one scan request.
 	ScanSpan uint64
+
+	// Skew selects the key-popularity distribution for the KV-family
+	// generators: SkewUniform (also the "" default), SkewZipf or SkewHot.
+	// Uniform consumes exactly one RNG draw per key, so the default
+	// streams are byte-identical to the pre-skew engine.
+	Skew string
+	// Shards is the simulated cluster width consumed by Cluster: the
+	// router partitions the key space into Shards contiguous blocks, one
+	// per machine. 0 and 1 both mean a single machine; Traffic ignores
+	// the field entirely (a spec's single-machine stream never depends on
+	// how a cluster would split it).
+	Shards int
 }
 
 // normalized fills defaulted fields and clamps the ones with hard limits.
@@ -90,6 +134,37 @@ func (s Spec) normalized() Spec {
 	}
 	if s.HitPct > 100 {
 		s.HitPct = 100
+	}
+	if s.Skew == "" {
+		s.Skew = SkewUniform
+	}
+	if s.Shards < 1 {
+		s.Shards = 1
+	}
+	if s.Workload == WorkloadMerkleFS {
+		if s.KeySpace == 0 || s.KeySpace > MFSBlocks {
+			s.KeySpace = MFSBlocks
+		}
+		if s.ValueMin <= 0 {
+			s.ValueMin = 8
+		}
+		if s.ValueMax < s.ValueMin {
+			s.ValueMax = s.ValueMin
+		}
+		if s.ValueMax > MFSMaxBlock {
+			s.ValueMax = MFSMaxBlock
+		}
+		if s.Preload < 0 {
+			s.Preload = 0
+		}
+		// Preload probes linearly for unwritten blocks, same discipline
+		// as the KV preload.
+		if s.Preload > int(s.KeySpace)/2 {
+			s.Preload = int(s.KeySpace) / 2
+		}
+		if s.PutPct < 0 || s.PutPct > 100 {
+			s.PutPct = 30
+		}
 	}
 	if s.Workload == WorkloadKV {
 		if s.KeySpace == 0 {
@@ -137,7 +212,7 @@ func (s Spec) normalized() Spec {
 func (s Spec) TotalRequests() int {
 	s = s.normalized()
 	n := s.Requests * s.Multiplier * s.Clients
-	if s.Workload == WorkloadKV {
+	if s.Workload == WorkloadKV || s.Workload == WorkloadMerkleFS {
 		n += s.Preload
 	}
 	return n
@@ -149,9 +224,13 @@ func (s Spec) TotalRequests() int {
 //
 // Expected-output layout:
 //
-//	WorkloadKV:   [processed, getHits, getMisses, puts, delHits, scanHits]
-//	WorkloadTLSH: [done, fullHandshakes, resumedHandshakes, transcript]
+//	WorkloadKV:       [processed, getHits, getMisses, puts, delHits, scanHits]
+//	WorkloadTLSH:     [done, fullHandshakes, resumedHandshakes, transcript]
+//	WorkloadMerkleFS: [processed, writes, readHits, readMisses, rootAcc, readAcc]
 func Traffic(s Spec) (wire [][]byte, expect []int64, err error) {
+	if err := s.validSkew(); err != nil {
+		return nil, nil, err
+	}
 	switch s.Workload {
 	case WorkloadKV:
 		wire, expect = kvTraffic(s.normalized())
@@ -159,10 +238,69 @@ func Traffic(s Spec) (wire [][]byte, expect []int64, err error) {
 	case WorkloadTLSH:
 		wire, expect = tlshTraffic(s.normalized())
 		return wire, expect, nil
+	case WorkloadMerkleFS:
+		wire, expect = mfsTraffic(s.normalized())
+		return wire, expect, nil
 	default:
-		return nil, nil, fmt.Errorf("scenario: unknown workload family %q (want %q or %q)",
-			s.Workload, WorkloadKV, WorkloadTLSH)
+		return nil, nil, fmt.Errorf("scenario: unknown workload family %q (want %q, %q or %q)",
+			s.Workload, WorkloadKV, WorkloadTLSH, WorkloadMerkleFS)
 	}
+}
+
+// validSkew rejects unknown skew names before any stream is emitted: a
+// typo silently falling back to uniform would quietly change what a grid
+// cell measures.
+func (s Spec) validSkew() error {
+	switch s.Skew {
+	case "", SkewUniform, SkewZipf, SkewHot:
+		return nil
+	}
+	return fmt.Errorf("scenario: unknown key skew %q (want %q, %q or %q)",
+		s.Skew, SkewUniform, SkewZipf, SkewHot)
+}
+
+// drawKey draws one key from [0, KeySpace) under the spec's skew. The
+// uniform path consumes exactly one RNG value — the same draw the
+// pre-skew engine made — so Skew's zero value leaves every existing
+// stream byte-identical.
+func (s Spec) drawKey(r *rng) uint64 {
+	switch s.Skew {
+	case SkewZipf:
+		l := trailingZeros(r.next())
+		if l > zipfMaxLevel {
+			l = zipfMaxLevel
+		}
+		space := s.KeySpace >> uint(l)
+		if space == 0 {
+			space = 1
+		}
+		return r.intn(space)
+	case SkewHot:
+		hot := uint64(hotSetSize)
+		if hot > s.KeySpace {
+			hot = s.KeySpace
+		}
+		if r.intn(100) < hotTrafficPct {
+			return r.intn(hot)
+		}
+		return r.intn(s.KeySpace)
+	default:
+		return r.intn(s.KeySpace)
+	}
+}
+
+// trailingZeros counts trailing zero bits (64 for zero) without pulling
+// math/bits into the stream definition — the loop is the spec.
+func trailingZeros(v uint64) int {
+	if v == 0 {
+		return 64
+	}
+	n := 0
+	for v&1 == 0 {
+		v >>= 1
+		n++
+	}
+	return n
 }
 
 // ---- Deterministic randomness ----
