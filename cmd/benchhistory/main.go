@@ -4,7 +4,7 @@
 //
 //	benchhistory [-bench benchrun.txt] [-interp BENCH_interp.json]
 //	             [-faults BENCH_faults.json] [-verify BENCH_verify.json]
-//	             [-cluster BENCH_cluster.json]
+//	             [-cluster BENCH_cluster.json] [-latency BENCH_latency.json]
 //	             [-out BENCH_history.jsonl] [-commit SHA]
 //
 // It reads artifacts the nightly CI job already produces — the
@@ -29,7 +29,11 @@
 // the geometric mean of the cluster figure's aggregate simulated req/s
 // across the shard/skew grid (present only when -cluster is given — a
 // deterministic quantity, so any drift is a real behavior change, not
-// host noise). -commit defaults to $GITHUB_SHA, then "local".
+// host noise); latency_p99_cycles is the geometric mean of the latency
+// figure's p99 request latencies in simulated cycles (present only when
+// -latency is given — also fully deterministic, tracking tail-latency
+// regressions at the trusted boundary). -commit defaults to
+// $GITHUB_SHA, then "local".
 // Appending (not rewriting) keeps the file a grep-able trajectory; rows
 // carry the commit so gaps and reruns are self-describing.
 package main
@@ -76,6 +80,12 @@ type historyRow struct {
 	// cluster report was not supplied). Unlike the host-time columns this
 	// is fully deterministic — drift means behavior changed.
 	ClusterReqsPerSec float64 `json:"cluster_reqs_per_sec,omitempty"`
+	// LatencyP99Cycles tracks the latency figure: geometric mean of the
+	// per-row p99 request latencies in simulated cycles across the
+	// arrival-process/load grid (0 when the latency report was not
+	// supplied). Fully deterministic — a moving p99 is a real tail-latency
+	// change at the trusted boundary.
+	LatencyP99Cycles float64 `json:"latency_p99_cycles,omitempty"`
 }
 
 // benchRunMIPS extracts the MIPS metric of the BenchmarkRun/superblock
@@ -254,12 +264,48 @@ func clusterReqsGeomean(path string) (float64, error) {
 	return math.Exp(logSum / float64(n)), nil
 }
 
+// latencyReport mirrors the subset of the latency-figure JSON the
+// history row needs.
+type latencyReport struct {
+	Rows []struct {
+		Figure       string `json:"figure"`
+		LatP99Cycles uint64 `json:"latency_p99_cycles"`
+	} `json:"rows"`
+}
+
+// latencyP99Geomean returns the geometric mean of the latency figure's
+// per-row p99 latencies in simulated cycles, skipping empty cells.
+func latencyP99Geomean(path string) (float64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	var rep latencyReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return 0, fmt.Errorf("parse %s: %w", path, err)
+	}
+	var logSum float64
+	var n int
+	for _, r := range rep.Rows {
+		if r.Figure != "latency" || r.LatP99Cycles == 0 {
+			continue
+		}
+		logSum += math.Log(float64(r.LatP99Cycles))
+		n++
+	}
+	if n == 0 {
+		return 0, fmt.Errorf("no latency rows with nonzero p99 in %s", path)
+	}
+	return math.Exp(logSum / float64(n)), nil
+}
+
 func main() {
 	bench := flag.String("bench", "benchrun.txt", "go test -bench BenchmarkRun output")
 	interp := flag.String("interp", "BENCH_interp.nightly.json", "confbench -figure interp -json report")
 	faults := flag.String("faults", "", "confbench -figure faults -json report (optional)")
 	verifyIn := flag.String("verify", "", "confbench -figure verify -json report (optional)")
 	clusterIn := flag.String("cluster", "", "confbench -figure cluster -json report (optional)")
+	latencyIn := flag.String("latency", "", "confbench -figure latency -json report (optional)")
 	out := flag.String("out", "BENCH_history.jsonl", "history file to append to")
 	commit := flag.String("commit", "", "commit SHA for the row (default: $GITHUB_SHA, then \"local\")")
 	flag.Parse()
@@ -312,6 +358,14 @@ func main() {
 			os.Exit(1)
 		}
 		row.ClusterReqsPerSec = crps
+	}
+	if *latencyIn != "" {
+		p99, err := latencyP99Geomean(*latencyIn)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchhistory: %v\n", err)
+			os.Exit(1)
+		}
+		row.LatencyP99Cycles = p99
 	}
 	line, err := json.Marshal(row)
 	if err != nil {

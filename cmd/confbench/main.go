@@ -3,10 +3,10 @@
 //
 // Usage:
 //
-//	confbench [-figure all|5|6|7|8|ldap|throughput|scenarios|faults|verify|cluster|interp]
+//	confbench [-figure all|5|6|7|8|ldap|throughput|scenarios|faults|verify|cluster|latency|interp]
 //	          [-superblocks=true|false] [-chain on|off] [-parallel N]
 //	          [-seed N] [-short] [-list]
-//	          [-json] [-out BENCH_interp.json]
+//	          [-json] [-out BENCH_interp.json] [-profile FILE]
 //
 // Figures register in one place (figureRegistry); the -figure usage
 // string and the -list output derive from it, so the line above and the
@@ -46,6 +46,18 @@
 // with commutative folds (aggregate req/s = client requests over the
 // slowest shard), so the table inherits the full determinism contract.
 //
+// The "latency" figure is the observability plane's flagship table: the
+// KV scenario's per-request service times, measured at the trusted recv
+// boundary in simulated cycles, are replayed through a deterministic
+// FIFO queue fed by seeded open-loop arrival processes (uniform,
+// Poisson, bursty) at three offered loads, and the p50/p95/p99/max
+// latency plus queue-depth columns come out byte-identical across
+// -parallel, -superblocks and -chain. -profile FILE additionally turns
+// on the machine's cycle-attribution profiler for every table cell and
+// writes one merged folded-stack profile (symbol + cycles per line,
+// flamegraph-ready); profile totals conserve the runs' cycle counters
+// exactly, and the disabled profiler costs nothing.
+//
 // Every (figure, workload, variant) cell is an independent simulation —
 // its own compiled artifact and its own machine.Machine — so the whole
 // matrix is scheduled across a worker pool (-parallel, default
@@ -82,6 +94,7 @@ import (
 	"confllvm"
 	"confllvm/internal/bench"
 	"confllvm/internal/machine"
+	"confllvm/internal/obs"
 	"confllvm/internal/scenario"
 )
 
@@ -143,6 +156,19 @@ type benchRow struct {
 	ShardCyclesMax uint64 `json:"shard_cycles_max,omitempty"`
 	ScanSplits     int    `json:"scan_splits,omitempty"`
 	CrossScans     int    `json:"cross_scans,omitempty"`
+
+	// Latency columns, set only for latency-figure rows: the open-loop
+	// queueing report of internal/bench.RunLatency. All simulated
+	// quantities in cycles at bench.SimClockHz.
+	ArrivalKind   string `json:"arrival_kind,omitempty"`
+	MeanGapCycles uint64 `json:"mean_gap_cycles,omitempty"`
+	OfferedRPS    uint64 `json:"offered_rps,omitempty"`
+	SvcMeanCycles uint64 `json:"svc_mean_cycles,omitempty"`
+	LatP50Cycles  uint64 `json:"latency_p50_cycles,omitempty"`
+	LatP95Cycles  uint64 `json:"latency_p95_cycles,omitempty"`
+	LatP99Cycles  uint64 `json:"latency_p99_cycles,omitempty"`
+	LatMaxCycles  uint64 `json:"latency_max_cycles,omitempty"`
+	MaxQueue      uint64 `json:"max_queue,omitempty"`
 }
 
 // benchReport is the BENCH_interp.json schema.
@@ -223,6 +249,18 @@ func record(figure, workload, variant string, m *bench.Measurement) {
 		row.MutantsTried = rep.MutantsTried
 		row.MutantsKilled = rep.MutantsKilled
 	}
+	if rep := m.Latency; rep != nil {
+		row.TotalReqs = int(rep.Requests)
+		row.ArrivalKind = rep.Kind
+		row.MeanGapCycles = rep.MeanGap
+		row.OfferedRPS = rep.OfferedRPS
+		row.SvcMeanCycles = rep.SvcMean
+		row.LatP50Cycles = rep.P50
+		row.LatP95Cycles = rep.P95
+		row.LatP99Cycles = rep.P99
+		row.LatMaxCycles = rep.Max
+		row.MaxQueue = rep.MaxQueue
+	}
 	if rep := m.Cluster; rep != nil {
 		row.Shards = rep.Shards
 		row.ClientReqs = rep.ClientRequests
@@ -256,7 +294,8 @@ type figureSpec struct {
 var figureRegistry = []figureSpec{
 	{"5", fig5}, {"6", fig6}, {"ldap", ldap}, {"7", fig7}, {"8", fig8},
 	{"throughput", throughput}, {"scenarios", scenarios}, {"faults", faults},
-	{"verify", verifyFigure}, {"cluster", cluster}, {"interp", interp},
+	{"verify", verifyFigure}, {"cluster", cluster}, {"latency", latencyFigure},
+	{"interp", interp},
 }
 
 // figureNames renders the registry as the -figure usage enumeration.
@@ -292,10 +331,12 @@ func main() {
 	list := flag.Bool("list", false, "print known figures and registered workloads, then exit")
 	jsonOut := flag.Bool("json", false, "also write a JSON perf report")
 	outPath := flag.String("out", "BENCH_interp.json", "path of the JSON report (with -json)")
+	profilePath := flag.String("profile", "", "enable cycle profiling and write the merged folded-stack profile of every cell to this file")
 	flag.Parse()
 
 	mcfg = machine.DefaultConfig()
 	mcfg.Superblocks = *superblocks
+	mcfg.Profile = *profilePath != ""
 	switch *chainFlag {
 	case "on", "true", "1":
 		mcfg.Chain = true
@@ -370,6 +411,27 @@ func main() {
 			fmt.Fprintf(os.Stderr, "confbench: figure %s: %v\n", p.name, err)
 			os.Exit(1)
 		}
+	}
+
+	if *profilePath != "" {
+		// Per-cell profiles fold commutatively, so the merged profile is
+		// independent of matrix scheduling. Cells running under their own
+		// machine configs (the interp MIPS lanes, supervised epochs)
+		// deliberately do not profile and contribute nothing.
+		merged := obs.NewFuncProfile()
+		var cellsProfiled int
+		for _, r := range results {
+			if r.M != nil && r.M.Profile != nil {
+				merged.Merge(r.M.Profile)
+				cellsProfiled++
+			}
+		}
+		if err := os.WriteFile(*profilePath, []byte(merged.Folded()), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "confbench: write profile: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d symbols from %d cells, %d cycles attributed)\n",
+			*profilePath, len(merged.Top()), cellsProfiled, merged.TotalCycles())
 	}
 
 	if report != nil {
@@ -726,6 +788,46 @@ func cluster() ([]bench.Cell, renderFn) {
 			record("cluster", ct.Spec.Name, v.String(), m)
 		}
 		fmt.Println()
+		return nil
+	}
+	return cells, render
+}
+
+// latencyFigure is the open-loop latency figure: the confidential KV
+// store's per-request service times (measured at the trusted recv
+// boundary in simulated cycles) replayed through a deterministic FIFO
+// queue fed by seeded uniform/Poisson/bursty arrival processes at three
+// offered loads. Every column is a simulated quantity — the table joins
+// the nightly byte-diffs across -parallel, -superblocks and -chain —
+// and the arrival streams derive from -seed, so the figure is one
+// deterministic function of the flag set. The aggregate line merges
+// every row's metric registry commutatively (internal/obs), the same
+// discipline the cluster figure uses for shard clocks.
+func latencyFigure() ([]bench.Cell, renderFn) {
+	const v = confllvm.VariantMPX // the deployable, verifiable configuration
+	sweeps := bench.LatencyGrid(shortGrid, scenarioSeed)
+	cells := bench.LatencyCells("latency", sweeps, v, &mcfg)
+	render := func(results []bench.CellResult) error {
+		fmt.Printf("Latency: open-loop arrivals queueing at the trusted boundary (%v, seed %d, cycles at a %.1f GHz simulated clock)\n",
+			v, scenarioSeed, float64(bench.SimClockHz)/1e9)
+		fmt.Printf("%-28s %8s %10s %9s %9s %9s %9s %11s %5s\n",
+			"scenario/arrival", "gap", "offer-r/s", "svc-mean", "p50", "p95", "p99", "max", "maxq")
+		agg := obs.NewRegistry()
+		for _, r := range results {
+			if r.Err != nil {
+				return r.Err
+			}
+			rep := r.M.Latency
+			fmt.Printf("%-28s %8d %10d %9d %9d %9d %9d %11d %5d\n",
+				r.Cell.Row, rep.MeanGap, rep.OfferedRPS, rep.SvcMean,
+				rep.P50, rep.P95, rep.P99, rep.Max, rep.MaxQueue)
+			agg.Merge(rep.Registry)
+			record("latency", r.Cell.Row, r.Cell.Variant.String(), r.M)
+		}
+		lat := agg.Hist("latency")
+		fmt.Printf("aggregate: %d requests, latency p50=%d p99=%d max=%d cycles, %d trusted calls\n\n",
+			lat.Count, lat.Quantile(50), lat.Quantile(99), lat.Max,
+			agg.CounterValue("trusted-calls"))
 		return nil
 	}
 	return cells, render

@@ -32,7 +32,7 @@ func TestFigureRegistryComplete(t *testing.T) {
 			t.Fatalf("figure %q missing from the derived usage string %q", f.name, names)
 		}
 	}
-	for _, required := range []string{"scenarios", "faults", "verify", "cluster", "interp"} {
+	for _, required := range []string{"scenarios", "faults", "verify", "cluster", "latency", "interp"} {
 		if !seen[required] {
 			t.Fatalf("figure %q (driven by CI) is not registered", required)
 		}

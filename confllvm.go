@@ -264,6 +264,12 @@ type World struct {
 	NetIn     [][]byte
 	// Extra registers application-specific trusted functions.
 	Extra map[string]machine.Handler
+	// Observe, when set, is called after every trusted-handler invocation
+	// with the handler name and the calling thread's simulated cycle
+	// counter at entry and exit (see trt.Context.Observe). Purely
+	// observational: no simulated result changes, and unobserved runs pay
+	// nothing.
+	Observe func(name string, startCycles, endCycles uint64)
 }
 
 // NewWorld returns an empty world.
@@ -292,6 +298,10 @@ type Result struct {
 	TCtx *trt.Context
 	// Machine is retained for white-box inspection in tests.
 	Machine *machine.Machine
+	// Profile is the cycle-attribution profile keyed by raw PC, non-nil
+	// only when the run's machine.Config had Profile set (internal/obs
+	// symbolizes it against the artifact's symbol table).
+	Profile *machine.Profile
 }
 
 // prepared is a loaded machine ready to run (used by Run and by white-box
@@ -341,6 +351,7 @@ func prepareWith(art *Artifact, w *World, mconf *machine.Config) (*prepared, err
 	}
 	ctx.Params = w.Params
 	ctx.NetIn = w.NetIn
+	ctx.Observe = w.Observe
 	for name, h := range w.Extra {
 		ctx.Register(name, h)
 	}
@@ -403,6 +414,7 @@ func (p *Prepared) Finish() *Result {
 		WallCycles: p.p.m.WallCycles(),
 		TCtx:       p.p.ctx,
 		Machine:    p.p.m,
+		Profile:    p.p.m.Profile(),
 	}
 }
 

@@ -12,6 +12,7 @@ import (
 	"confllvm"
 	"confllvm/internal/link"
 	"confllvm/internal/machine"
+	"confllvm/internal/obs"
 	"confllvm/internal/verify"
 )
 
@@ -34,6 +35,12 @@ type Measurement struct {
 	// Cluster is set by cluster-figure render code after merging the
 	// per-shard measurements of one cluster row.
 	Cluster *ClusterReport
+	// Latency is set by latency-figure cells: the open-loop queueing
+	// report of a traced serving run.
+	Latency *LatencyReport
+	// Profile is the symbolized per-function cycle profile, non-nil only
+	// when the cell ran with machine profiling enabled.
+	Profile *obs.Profile
 }
 
 // MIPS returns the interpreter throughput of this run in millions of

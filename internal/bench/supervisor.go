@@ -6,6 +6,7 @@ import (
 	"confllvm"
 	"confllvm/internal/chaos"
 	"confllvm/internal/machine"
+	"confllvm/internal/obs"
 )
 
 // FaultPolicy configures a supervised serving run: the fault schedule and
@@ -41,6 +42,13 @@ type FaultPolicy struct {
 	// radius of one fault and give the per-epoch fault mechanisms more
 	// injection points. 0 serves the whole queue in one epoch.
 	BatchRequests int
+	// Trace, when non-nil, receives one span tree per epoch on the
+	// supervisor's simulated clock (RunCycles + BackoffCycles): an
+	// "epoch" root spanning the whole lifecycle with a "run" child (the
+	// machine execution, labeled "run:<fault kind>" when it faulted) and
+	// a "backoff" child for the restart pause. Purely observational —
+	// the ServeReport is bit-identical with or without it.
+	Trace *obs.Tracer
 }
 
 // DefaultFaultPolicy is the faults figure's policy: one knob (the fault
@@ -186,6 +194,10 @@ func Supervise(key string, prog confllvm.Program, v confllvm.Variant,
 	streak := 0
 	for epoch := uint64(0); len(queue) > 0; epoch++ {
 		rep.Epochs++
+		// The supervisor's simulated clock: execution plus backoff so
+		// far. Epoch spans are emitted against it once the epoch's
+		// extent is known (parents precede children in a trace).
+		c0 := rep.RunCycles + rep.BackoffCycles
 
 		// Verify-before-load gate: a tampered build artifact must never
 		// reach the loader. One load per epoch, so one roll per epoch.
@@ -246,8 +258,13 @@ func Supervise(key string, prog confllvm.Program, v confllvm.Variant,
 		res := prep.Finish()
 		rep.RunCycles += res.WallCycles
 		rep.Instrs += res.Stats.Instrs
+		runEnd := c0 + res.WallCycles
 
 		if res.Fault == nil {
+			if tr := pol.Trace; tr != nil {
+				ep := tr.Span("epoch", 0, c0, runEnd)
+				tr.Span("run", ep, c0, runEnd)
+			}
 			rep.Served += batch
 			queue = queue[batch:]
 			continue
@@ -285,6 +302,10 @@ func Supervise(key string, prog confllvm.Program, v confllvm.Variant,
 
 		rep.Restarts++
 		if streak > pol.MaxRestarts {
+			if tr := pol.Trace; tr != nil {
+				ep := tr.Span("epoch", 0, c0, runEnd)
+				tr.Span("run:"+res.Fault.Kind.String(), ep, c0, runEnd)
+			}
 			rep.Rejected += len(queue)
 			queue = nil
 			break
@@ -301,6 +322,11 @@ func Supervise(key string, prog confllvm.Program, v confllvm.Variant,
 		}
 		rep.BackoffCycles += backoff
 		rep.Recoveries = append(rep.Recoveries, backoff)
+		if tr := pol.Trace; tr != nil {
+			ep := tr.Span("epoch", 0, c0, runEnd+backoff)
+			tr.Span("run:"+res.Fault.Kind.String(), ep, c0, runEnd)
+			tr.Span("backoff", ep, runEnd, runEnd+backoff)
+		}
 
 		// Bounded queue: of the requests arriving during the pause (the
 		// next arrivals in the trace), the queue absorbs QueueDepth; the

@@ -5,6 +5,7 @@ import (
 
 	"confllvm"
 	"confllvm/internal/machine"
+	"confllvm/internal/obs"
 	"confllvm/internal/scenario"
 )
 
@@ -47,8 +48,12 @@ func (wl *Workload) Run(v confllvm.Variant, mconf *machine.Config) (*Measurement
 			return nil, fmt.Errorf("%s [%v]: %w", wl.Name, v, err)
 		}
 	}
-	return &Measurement{Variant: v, Wall: res.WallCycles, Stats: res.Stats,
-		Outputs: res.Outputs, Res: res, HostNS: hostNS}, nil
+	m := &Measurement{Variant: v, Wall: res.WallCycles, Stats: res.Stats,
+		Outputs: res.Outputs, Res: res, HostNS: hostNS}
+	if res.Profile != nil {
+		m.Profile = obs.FlattenProfile(res.Profile, art.Image)
+	}
+	return m, nil
 }
 
 // SPECWorkload wraps one SPEC-like kernel with explicit input parameters.

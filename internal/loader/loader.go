@@ -18,6 +18,14 @@ import (
 // assert that U can never read or overwrite it.
 var TCanary = []byte("T-REGION-SECRET-CANARY-0123456789")
 
+// HandlerAddr returns the dispatch address of externals-table slot i: the
+// T-region PC the machine traps to the i-th trusted handler at. Exported
+// so the observability plane (internal/obs) can symbolize profile PCs
+// back to handler names with the same formula Load binds them by.
+func HandlerAddr(l link.Layout, i int) uint64 {
+	return l.TBase + 0x10000 + uint64(i)*0x100
+}
+
 // Load builds a machine, maps all regions, installs the image and binds
 // the externals table to the given trusted handlers.
 func Load(img *link.Image, handlers map[string]machine.Handler, mconf machine.Config) (*machine.Machine, error) {
@@ -68,7 +76,7 @@ func Load(img *link.Image, handlers map[string]machine.Handler, mconf machine.Co
 		if !ok {
 			return nil, fmt.Errorf("loader: no trusted handler for extern %q", name)
 		}
-		addr := l.TBase + 0x10000 + uint64(i)*0x100
+		addr := HandlerAddr(l, i)
 		m.Handlers[addr] = h
 		var slot [8]byte
 		binary.LittleEndian.PutUint64(slot[:], addr)

@@ -90,18 +90,24 @@ func BenchmarkStepBnd(b *testing.B) {
 // dispatch, and per-instruction stepping. The "superblock" sub-benchmark
 // is the BENCH_interp.json / BENCH_history.jsonl "BenchmarkRun"
 // datapoint: it must hold a >= 1.5x MIPS advantage over "stepwise", and
-// the chained-vs-nochain delta is the direct block-chaining win.
+// the chained-vs-nochain delta is the direct block-chaining win. The
+// "profiled" lane runs chained dispatch with cycle-attributed profiling
+// on — its gap to "superblock" is the observability plane's enabled cost
+// (the disabled cost is zero: TestRunProfileDisabledZeroAlloc).
 func BenchmarkRun(b *testing.B) {
 	for _, mode := range []struct {
 		name        string
 		superblocks bool
 		chain       bool
-	}{{"superblock", true, true}, {"nochain", true, false}, {"stepwise", false, false}} {
+		profile     bool
+	}{{"superblock", true, true, false}, {"nochain", true, false, false},
+		{"stepwise", false, false, false}, {"profiled", true, true, true}} {
 		b.Run(mode.name, func(b *testing.B) {
 			const iters = 1000
 			conf := DefaultConfig()
 			conf.Superblocks = mode.superblocks
 			conf.Chain = mode.chain
+			conf.Profile = mode.profile
 			m := New(conf)
 			var code []byte
 			// rcx = iters; loop: 8 ALU ops; rcx--; cmp; jne loop; exit.

@@ -93,6 +93,13 @@ type Config struct {
 	// executes a single instruction regardless of this flag.
 	Superblocks bool
 
+	// Profile enables cycle-attributed profiling: the machine carries a
+	// Profile (see profile.go) charging each superblock's cycle delta to
+	// its entry PC and each trusted-handler dispatch to the handler
+	// address. Purely observational — no simulated result changes — and
+	// free when off (one nil check per block, zero allocations).
+	Profile bool
+
 	// Chain links superblocks to their successors: a block ending in a
 	// direct jmp (and both edges of a jcc) caches a pointer to the
 	// successor's flattened run when the target lies in the same decode
@@ -138,7 +145,14 @@ type Machine struct {
 	// [hndLo, hndHi]. Empty map: hndLo > hndHi, so the test never passes.
 	hndLo, hndHi uint64
 	nHandlers    int
+
+	// prof is non-nil when Conf.Profile is set (see profile.go).
+	prof *Profile
 }
+
+// Profile returns the machine's cycle-attribution profile, or nil when
+// Conf.Profile is off.
+func (m *Machine) Profile() *Profile { return m.prof }
 
 // New creates a machine with the given configuration.
 func New(conf Config) *Machine {
@@ -152,6 +166,9 @@ func New(conf Config) *Machine {
 		hndLo:    ^uint64(0),
 	}
 	m.Mem.onUncheckedWrite = m.flushTraces
+	if conf.Profile {
+		m.prof = NewProfile()
+	}
 	return m
 }
 
@@ -363,7 +380,16 @@ func (t *Thread) Step() *Fault {
 	if t.PC >= m.hndLo && t.PC <= m.hndHi {
 		if h, ok := m.Handlers[t.PC]; ok {
 			t.Stats.TrustedCall++
-			if f := h(m, t); f != nil {
+			// Capture the handler address and cycle count before the call:
+			// the handler performs the return sequence (moving t.PC) and
+			// charges its transition cost, and the profile attributes that
+			// delta to the handler's own address.
+			hpc, c0 := t.PC, t.Stats.Cycles
+			f := h(m, t)
+			if prof := m.prof; prof != nil {
+				prof.add(hpc, t.Stats.Cycles-c0, 0)
+			}
+			if f != nil {
 				return t.fault(f)
 			}
 			return nil
@@ -426,8 +452,13 @@ func (t *Thread) execRun(run *blockRun, tr *codeTrace, max int, chain bool) (int
 	var nextPC uint64
 	done := 0
 	k := 0
+	prof := t.m.prof
+	var profC0 uint64
 chained:
 	for {
+		if prof != nil {
+			profC0 = t.Stats.Cycles
+		}
 		nb := run.n
 		if rem := max - done; nb > rem {
 			nb = rem
@@ -741,11 +772,21 @@ chained:
 			// a faulting instruction counts toward Instrs but not Cycles,
 			// as it always has.
 			t.Stats.Cycles += uint64(run.cum[k-1])
+			if prof != nil {
+				prof.add(run.pcs[0], t.Stats.Cycles-profC0, uint64(k))
+			}
 			break chained
 		}
 		// cum[k] includes a halting exit's own cost; dynamic components
 		// (cache misses, FP masking) were added inline by the cases.
 		t.Stats.Cycles += uint64(run.cum[k])
+		if prof != nil {
+			// Attribute the block's cycle delta — the static cum[] charge
+			// plus every dynamic component the cases added — to its entry
+			// PC, and its executed slot count to Instrs. Summed over a run
+			// this conserves Stats exactly (see profile.go).
+			prof.add(run.pcs[0], t.Stats.Cycles-profC0, uint64(k))
+		}
 		if t.Halted || k < run.n || done >= max || !chain {
 			break chained
 		}

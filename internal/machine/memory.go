@@ -399,6 +399,17 @@ var faultNames = map[FaultKind]string{
 	FaultTrusted: "trusted wrapper check failed", FaultFuel: "fuel exhausted",
 }
 
+// String names the fault kind (the same label Fault.Error leads with).
+func (k FaultKind) String() string {
+	if k == FaultNone {
+		return "none"
+	}
+	if s, ok := faultNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("fault(%d)", uint8(k))
+}
+
 // Fault describes an execution fault. Faults stop the faulting thread; the
 // confidentiality argument is that ill-behaved code faults instead of
 // leaking.

@@ -1,0 +1,82 @@
+package machine
+
+// Cycle-attributed profiling. When Config.Profile is set the machine
+// carries a Profile: a map from attribution PC to the cycles and
+// instructions spent there. The attribution grain is the superblock (or
+// the trusted handler): execRun snapshots the thread's cycle counter at
+// block entry and attributes the delta — the cum[] static charge plus
+// every dynamic component the opcode cases added inline (cache-miss
+// penalties, FP-masked bound-check refunds) — to the block's entry PC;
+// Step and stepBlocks wrap trusted-handler dispatches the same way, so a
+// handler's charge() cost lands on the handler's address. Because every
+// mutation of Stats.Cycles in the codebase happens inside one of those
+// two windows, the profile conserves cycles exactly:
+//
+//	sum over cells of Cycles == TotalStats().Cycles
+//
+// for any program, any dispatch mode, any fault. The bench layer tests
+// this conservation per run; internal/obs symbolizes the PCs against the
+// link-layer symbol table.
+//
+// The disabled path costs one nil check per block (not per instruction)
+// and zero allocations; TestRunProfileDisabledZeroAlloc pins that.
+
+// ProfCell is one attribution bucket: the cycles and instructions charged
+// at an entry PC, and how many times execution entered there.
+type ProfCell struct {
+	Cycles uint64
+	Instrs uint64
+	Hits   uint64
+}
+
+// Profile accumulates per-entry-PC cost attribution for one machine. It
+// is owned by the machine's single execution goroutine; callers read it
+// after Run returns.
+type Profile struct {
+	cells map[uint64]*ProfCell
+}
+
+// NewProfile returns an empty profile.
+func NewProfile() *Profile { return &Profile{cells: map[uint64]*ProfCell{}} }
+
+// add charges cycles and instrs to pc's bucket.
+func (p *Profile) add(pc, cycles, instrs uint64) {
+	c := p.cells[pc]
+	if c == nil {
+		c = &ProfCell{}
+		p.cells[pc] = c
+	}
+	c.Cycles += cycles
+	c.Instrs += instrs
+	c.Hits++
+}
+
+// Cells returns a copy of the attribution buckets keyed by entry PC.
+func (p *Profile) Cells() map[uint64]ProfCell {
+	out := make(map[uint64]ProfCell, len(p.cells))
+	for pc, c := range p.cells {
+		out[pc] = *c
+	}
+	return out
+}
+
+// TotalCycles sums the attributed cycles across all buckets. With
+// profiling enabled for a whole run this equals TotalStats().Cycles.
+func (p *Profile) TotalCycles() uint64 {
+	var sum uint64
+	for _, c := range p.cells {
+		sum += c.Cycles
+	}
+	return sum
+}
+
+// TotalInstrs sums the attributed instructions across all buckets. Only
+// U instructions are counted (trusted-handler dispatches add cycles but
+// no instruction, matching Stats.Instrs).
+func (p *Profile) TotalInstrs() uint64 {
+	var sum uint64
+	for _, c := range p.cells {
+		sum += c.Instrs
+	}
+	return sum
+}

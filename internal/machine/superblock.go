@@ -231,7 +231,14 @@ func (t *Thread) stepBlocks(max int) (int, *Fault) {
 			if h, ok := m.Handlers[t.PC]; ok {
 				t.Stats.TrustedCall++
 				done++
-				if f := h(m, t); f != nil {
+				// Mirror Step's profiling wrap: the handler's cycle delta
+				// (its charge() transition cost) lands on its address.
+				hpc, c0 := t.PC, t.Stats.Cycles
+				f := h(m, t)
+				if prof := m.prof; prof != nil {
+					prof.add(hpc, t.Stats.Cycles-c0, 0)
+				}
+				if f != nil {
 					return done, t.fault(f)
 				}
 				// Trusted handlers are the only code that can change the

@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"confllvm/internal/link"
+	"confllvm/internal/loader"
+	"confllvm/internal/machine"
+)
+
+// FuncCost is the flat (exclusive) cost attributed to one symbol.
+type FuncCost struct {
+	Name   string
+	Cycles uint64
+	Instrs uint64
+	Hits   uint64 // block entries (U code) or invocations (T handlers)
+}
+
+// Profile is a symbolized flat profile. Costs merge by per-symbol
+// addition, so profiles from different cells/runs fold commutatively.
+type Profile struct {
+	funcs map[string]*FuncCost
+}
+
+// NewFuncProfile returns an empty symbolized profile.
+func NewFuncProfile() *Profile { return &Profile{funcs: map[string]*FuncCost{}} }
+
+// Add accumulates cost against a symbol.
+func (p *Profile) Add(name string, cycles, instrs, hits uint64) {
+	c, ok := p.funcs[name]
+	if !ok {
+		c = &FuncCost{Name: name}
+		p.funcs[name] = c
+	}
+	c.Cycles += cycles
+	c.Instrs += instrs
+	c.Hits += hits
+}
+
+// Merge folds o into p.
+func (p *Profile) Merge(o *Profile) {
+	for name, c := range o.funcs {
+		p.Add(name, c.Cycles, c.Instrs, c.Hits)
+	}
+}
+
+// TotalCycles sums attributed cycles across all symbols. For a profile
+// flattened from one run this equals that run's Stats.Cycles exactly
+// (the machine attributes every cycle it charges).
+func (p *Profile) TotalCycles() uint64 {
+	var n uint64
+	for _, c := range p.funcs {
+		n += c.Cycles
+	}
+	return n
+}
+
+// Top returns costs sorted by cycles descending (name ascending on
+// ties) — the render order for profile tables.
+func (p *Profile) Top() []FuncCost {
+	out := make([]FuncCost, 0, len(p.funcs))
+	for _, c := range p.funcs {
+		out = append(out, *c)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Cycles != out[j].Cycles {
+			return out[i].Cycles > out[j].Cycles
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// Folded renders the profile in folded-stack format ("symbol cycles",
+// one line per symbol, sorted by name) — the input flamegraph tools
+// take, and a canonical byte-diffable form.
+func (p *Profile) Folded() string {
+	names := make([]string, 0, len(p.funcs))
+	for name := range p.funcs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, name := range names {
+		fmt.Fprintf(&b, "%s %d\n", name, p.funcs[name].Cycles)
+	}
+	return b.String()
+}
+
+// FlattenProfile symbolizes a machine PC-keyed profile against a
+// linked image: PCs inside a linked function's [Base, Base+Size) get
+// that function's name, trusted-handler dispatch addresses become
+// "T:<extern>" (via the loader's binding formula), the exit shims fold
+// into "exit-shim", and anything else falls back to "pc:0x...".
+func FlattenProfile(mp *machine.Profile, img *link.Image) *Profile {
+	out := NewFuncProfile()
+	if mp == nil {
+		return out
+	}
+	funcs := make([]*link.FuncSym, len(img.Funcs))
+	copy(funcs, img.Funcs)
+	sort.Slice(funcs, func(i, j int) bool { return funcs[i].Base < funcs[j].Base })
+	handlers := make(map[uint64]string, len(img.Externals))
+	for i, name := range img.Externals {
+		handlers[loader.HandlerAddr(img.Layout, i)] = "T:" + name
+	}
+	for pc, cell := range mp.Cells() {
+		out.Add(symbolize(pc, funcs, handlers, img), cell.Cycles, cell.Instrs, cell.Hits)
+	}
+	return out
+}
+
+func symbolize(pc uint64, funcs []*link.FuncSym, handlers map[uint64]string, img *link.Image) string {
+	if name, ok := handlers[pc]; ok {
+		return name
+	}
+	if pc == img.ExitShim[0] || pc == img.ExitShim[1] {
+		return "exit-shim"
+	}
+	// First function with Base > pc, then step back one.
+	i := sort.Search(len(funcs), func(i int) bool { return funcs[i].Base > pc })
+	if i > 0 {
+		f := funcs[i-1]
+		if pc < f.Base+f.Size {
+			return f.Name
+		}
+	}
+	return fmt.Sprintf("pc:%#x", pc)
+}

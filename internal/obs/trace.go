@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Span is one interval in simulated cycles. IDs are sequential from 1
+// in emission order; Parent 0 means root. Because timestamps are
+// simulated and emission order is program order, a trace is
+// byte-identical across dispatch modes.
+type Span struct {
+	ID     uint64 `json:"id"`
+	Parent uint64 `json:"parent,omitempty"`
+	Name   string `json:"name"`
+	Start  uint64 `json:"start"`
+	End    uint64 `json:"end"`
+}
+
+// Tracer accumulates spans. The zero value is ready to use.
+type Tracer struct {
+	spans []Span
+}
+
+// NewTracer returns an empty tracer.
+func NewTracer() *Tracer { return &Tracer{} }
+
+// Span records a completed interval and returns its ID (usable as the
+// Parent of later spans). Parents must be emitted before children —
+// emit the enclosing span once its end is known, then its children, or
+// restructure so the parent interval is known first (the supervisor
+// emits each epoch's span after the epoch completes, then the epoch's
+// run/replay/backoff children).
+func (t *Tracer) Span(name string, parent, start, end uint64) uint64 {
+	id := uint64(len(t.spans) + 1)
+	t.spans = append(t.spans, Span{ID: id, Parent: parent, Name: name, Start: start, End: end})
+	return id
+}
+
+// Spans returns a copy of the recorded spans.
+func (t *Tracer) Spans() []Span {
+	out := make([]Span, len(t.spans))
+	copy(out, t.spans)
+	return out
+}
+
+// Len reports the number of recorded spans.
+func (t *Tracer) Len() int { return len(t.spans) }
+
+// WellFormed checks the span-tree invariants: sequential IDs, End >=
+// Start, parents precede children, and every child interval nests
+// inside its parent's interval.
+func (t *Tracer) WellFormed() error {
+	for i, s := range t.spans {
+		if s.ID != uint64(i+1) {
+			return fmt.Errorf("span %d: ID %d out of sequence", i, s.ID)
+		}
+		if s.End < s.Start {
+			return fmt.Errorf("span %d (%s): end %d < start %d", s.ID, s.Name, s.End, s.Start)
+		}
+		if s.Parent == 0 {
+			continue
+		}
+		if s.Parent >= s.ID {
+			return fmt.Errorf("span %d (%s): parent %d not emitted before child", s.ID, s.Name, s.Parent)
+		}
+		p := t.spans[s.Parent-1]
+		if s.Start < p.Start || s.End > p.End {
+			return fmt.Errorf("span %d (%s): [%d,%d] outside parent %d (%s) [%d,%d]",
+				s.ID, s.Name, s.Start, s.End, p.ID, p.Name, p.Start, p.End)
+		}
+	}
+	return nil
+}
+
+// JSON renders the spans as a JSON array (one span object per
+// element), deterministic byte-for-byte.
+func (t *Tracer) JSON() ([]byte, error) {
+	return json.MarshalIndent(t.spans, "", "  ")
+}
+
+// chromeEvent is one Chrome trace-event ("X" = complete event).
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	PID  int               `json:"pid"`
+	TID  uint64            `json:"tid"`
+	TS   uint64            `json:"ts"`
+	Dur  uint64            `json:"dur"`
+	Args map[string]uint64 `json:"args,omitempty"`
+}
+
+// ChromeTrace renders the spans in Chrome trace-event JSON (load in
+// chrome://tracing or Perfetto). cyclesPerMicro converts simulated
+// cycles to the microsecond timestamps the format wants — pass the
+// simulated clock rate / 1e6 (e.g. 2000 for a 2 GHz simulated clock);
+// 0 is treated as 1. Each root span gets its own lane (tid = root ID),
+// so concurrent requests render stacked.
+func (t *Tracer) ChromeTrace(cyclesPerMicro uint64) ([]byte, error) {
+	if cyclesPerMicro == 0 {
+		cyclesPerMicro = 1
+	}
+	// root[i] = ID of the topmost ancestor of span i+1.
+	root := make([]uint64, len(t.spans))
+	for i, s := range t.spans {
+		if s.Parent == 0 || s.Parent > uint64(i) {
+			root[i] = s.ID
+		} else {
+			root[i] = root[s.Parent-1]
+		}
+	}
+	evs := make([]chromeEvent, 0, len(t.spans))
+	for i, s := range t.spans {
+		ev := chromeEvent{
+			Name: s.Name, Ph: "X", PID: 1, TID: root[i],
+			TS: s.Start / cyclesPerMicro, Dur: (s.End - s.Start) / cyclesPerMicro,
+			Args: map[string]uint64{"id": s.ID, "start_cycles": s.Start, "end_cycles": s.End},
+		}
+		if s.Parent != 0 {
+			ev.Args["parent"] = s.Parent
+		}
+		evs = append(evs, ev)
+	}
+	return json.MarshalIndent(evs, "", "  ")
+}

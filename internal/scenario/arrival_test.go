@@ -1,0 +1,81 @@
+package scenario
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestArrivalDeterminism(t *testing.T) {
+	for _, kind := range []string{ArrivalPoisson, ArrivalBursty, ArrivalUniform} {
+		a := Arrival{Kind: kind, Seed: 7, MeanGap: 4096}
+		t1, err := a.Times(500)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		t2, _ := a.Times(500)
+		if !reflect.DeepEqual(t1, t2) {
+			t.Fatalf("%s: same Arrival produced different streams", kind)
+		}
+		for i := 1; i < len(t1); i++ {
+			if t1[i] < t1[i-1] {
+				t.Fatalf("%s: timestamps decrease at %d: %d < %d", kind, i, t1[i], t1[i-1])
+			}
+		}
+	}
+}
+
+func TestArrivalSeedSensitivity(t *testing.T) {
+	for _, kind := range []string{ArrivalPoisson, ArrivalBursty} {
+		a := Arrival{Kind: kind, Seed: 7, MeanGap: 4096}
+		b := Arrival{Kind: kind, Seed: 8, MeanGap: 4096}
+		ta, _ := a.Times(200)
+		tb, _ := b.Times(200)
+		if reflect.DeepEqual(ta, tb) {
+			t.Fatalf("%s: different seeds produced identical streams", kind)
+		}
+	}
+}
+
+func TestArrivalKindsDiffer(t *testing.T) {
+	p, _ := Arrival{Kind: ArrivalPoisson, Seed: 7, MeanGap: 4096}.Times(200)
+	b, _ := Arrival{Kind: ArrivalBursty, Seed: 7, MeanGap: 4096}.Times(200)
+	u, _ := Arrival{Kind: ArrivalUniform, Seed: 7, MeanGap: 4096}.Times(200)
+	if reflect.DeepEqual(p, b) || reflect.DeepEqual(p, u) || reflect.DeepEqual(b, u) {
+		t.Fatal("distinct kinds produced identical streams")
+	}
+}
+
+func TestArrivalApproximateMean(t *testing.T) {
+	// Poisson and uniform should hit the requested mean gap within 15%
+	// over a long stream. (Bursty is intentionally slower overall: OFF
+	// phases add dead time on top of the per-arrival mean.)
+	const n, mean = 5000, 4096
+	for _, kind := range []string{ArrivalPoisson, ArrivalUniform} {
+		ts, err := Arrival{Kind: kind, Seed: 11, MeanGap: mean}.Times(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := ts[n-1] / n
+		if got < mean*85/100 || got > mean*115/100 {
+			t.Errorf("%s: empirical mean gap %d, want within 15%% of %d", kind, got, mean)
+		}
+	}
+	// Bursty still makes progress and is no faster than the base rate.
+	ts, err := Arrival{Kind: ArrivalBursty, Seed: 11, MeanGap: mean}.Times(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ts[n-1] / n; got < mean*85/100 {
+		t.Errorf("bursty: empirical mean gap %d faster than base mean %d", got, mean)
+	}
+}
+
+func TestArrivalDefaultsAndErrors(t *testing.T) {
+	ts, err := Arrival{Seed: 1}.Times(3) // empty kind → poisson, MeanGap → 65536
+	if err != nil || len(ts) != 3 {
+		t.Fatalf("defaults: %v %v", ts, err)
+	}
+	if _, err := (Arrival{Kind: "closed-loop"}).Times(1); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}

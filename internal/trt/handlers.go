@@ -346,6 +346,21 @@ func (c *Context) Handlers() map[string]machine.Handler {
 	for name, fn := range c.extra {
 		h[name] = fn
 	}
+	if c.Observe != nil {
+		// Wrap every handler (extras included) with the observation hook:
+		// the observer sees the handler's name and the thread's simulated
+		// cycle counter before and after the call — faults included, so a
+		// span layer can close a request's last span on a trusted refusal.
+		for name, fn := range h {
+			name, fn := name, fn
+			h[name] = func(m *machine.Machine, t *machine.Thread) *machine.Fault {
+				start := t.Stats.Cycles
+				f := fn(m, t)
+				c.Observe(name, start, t.Stats.Cycles)
+				return f
+			}
+		}
+	}
 	return h
 }
 

@@ -59,6 +59,15 @@ type Context struct {
 
 	Rand *rand.Rand
 
+	// Observe, when non-nil, is called after every trusted-handler
+	// invocation with the handler's externals-table name and the calling
+	// thread's cycle counter at entry and exit — the hook the
+	// observability plane (internal/obs) builds request spans from. The
+	// timestamps are simulated cycles, so observations are deterministic
+	// and dispatch-mode-invariant. Handlers are only wrapped when Observe
+	// is set at Handlers() time; the nil case costs nothing.
+	Observe func(name string, startCycles, endCycles uint64)
+
 	// extra registered handlers (application-specific T functions).
 	extra map[string]machine.Handler
 }
