@@ -16,7 +16,10 @@
 //	 "faults_avail_geomean": ...}
 //
 // benchrun_mips is the BenchmarkRun/superblock MIPS datapoint (raw
-// dispatch throughput on straight-line ALU blocks); interp_geomean is
+// dispatch throughput on straight-line ALU blocks under the default
+// stack: chained superblocks with superinstruction fusion — the other
+// BenchmarkRun lanes deliberately do not start with "superblock" so the
+// prefix match below stays unambiguous); interp_geomean is
 // the geometric mean, over all workloads in the interp sweep, of the
 // superblock-vs-stepwise MIPS speedup (untimed cells are skipped, as in
 // the confbench table); faults_avail_geomean is the geometric mean of

@@ -4,7 +4,8 @@
 // Usage:
 //
 //	confbench [-figure all|5|6|7|8|ldap|throughput|scenarios|faults|verify|cluster|latency|interp]
-//	          [-superblocks=true|false] [-chain on|off] [-parallel N]
+//	          [-superblocks=true|false] [-chain on|off] [-fuse on|off]
+//	          [-threaded on|off] [-parallel N]
 //	          [-seed N] [-short] [-list]
 //	          [-json] [-out BENCH_interp.json] [-profile FILE]
 //
@@ -74,11 +75,13 @@
 //
 // -superblocks=false replays everything with per-instruction stepping,
 // and -chain=off keeps superblock dispatch but disables direct block
-// chaining; the figure tables must come out byte-identical either way
-// (the nightly CI job diffs stepwise-vs-superblock and chained-vs-
-// unchained). The "interp" figure runs every workload in both dispatch
-// modes back to back, verifies the simulated cycles agree, and reports
-// the dispatch speedup.
+// chaining; -fuse=off disables superinstruction fusion and -threaded=on
+// swaps the opcode switch for the per-slot handler table. The figure
+// tables must come out byte-identical under every combination (the
+// nightly CI job diffs stepwise-vs-superblock, chained-vs-unchained,
+// fused-vs-unfused and threaded-vs-switch). The "interp" figure runs
+// every workload in both dispatch modes back to back, verifies the
+// simulated cycles agree, and reports the dispatch speedup.
 package main
 
 import (
@@ -113,6 +116,10 @@ type benchRow struct {
 	Instrs     uint64  `json:"instrs"`
 	HostNS     int64   `json:"host_ns"`
 	MIPS       float64 `json:"mips"`
+	// FusedSlots counts fused superinstruction slots executed (an
+	// observability counter: zero when -fuse=off, excluded from the
+	// cross-mode determinism compares).
+	FusedSlots uint64 `json:"fused_slots,omitempty"`
 
 	// Availability columns, set only for supervised (faults-figure) rows.
 	// All simulated quantities; recovery latencies are simulated cycles.
@@ -177,9 +184,12 @@ type benchReport struct {
 	// FigureFilter records the -figure selection so partial runs are never
 	// mistaken for a full-suite trajectory point.
 	FigureFilter string `json:"figure_filter"`
-	// Superblocks/Chain record the dispatch mode of the figure-table runs.
+	// Superblocks/Chain/Fuse/Threaded record the dispatch mode of the
+	// figure-table runs.
 	Superblocks bool `json:"superblocks"`
 	Chain       bool `json:"chain"`
+	Fuse        bool `json:"fuse"`
+	Threaded    bool `json:"threaded"`
 	// Parallel is the worker count the matrix ran with.
 	Parallel    int    `json:"parallel"`
 	TotalInstrs uint64 `json:"total_instrs"`
@@ -221,7 +231,7 @@ func record(figure, workload, variant string, m *bench.Measurement) {
 	row := benchRow{
 		Figure: figure, Workload: workload, Variant: variant,
 		WallCycles: m.Wall, Instrs: m.Stats.Instrs, HostNS: m.HostNS,
-		MIPS: m.MIPS(),
+		MIPS: m.MIPS(), FusedSlots: m.Stats.FusedSlots,
 	}
 	if rep := m.Serve; rep != nil {
 		row.TotalReqs = rep.Total
@@ -325,6 +335,8 @@ func main() {
 	figure := flag.String("figure", "all", "which figure to regenerate: "+figureNames())
 	superblocks := flag.Bool("superblocks", true, "dispatch basic blocks (false = per-instruction stepping)")
 	chainFlag := flag.String("chain", "on", "direct block chaining: on|off (escape hatch; only meaningful with -superblocks)")
+	fuseFlag := flag.String("fuse", "on", "superinstruction fusion: on|off (escape hatch; only meaningful with -superblocks)")
+	threadedFlag := flag.String("threaded", "off", "threaded per-slot handler dispatch: on|off (replaces the opcode switch; only meaningful with -superblocks)")
 	parallel := flag.Int("parallel", 0, "worker goroutines for the bench matrix (0 = GOMAXPROCS, 1 = serial)")
 	seed := flag.Uint64("seed", scenario.DefaultSeed, "base seed of the scenario traffic engine")
 	short := flag.Bool("short", false, "shrink the scenarios grid to a smoke size")
@@ -337,15 +349,21 @@ func main() {
 	mcfg = machine.DefaultConfig()
 	mcfg.Superblocks = *superblocks
 	mcfg.Profile = *profilePath != ""
-	switch *chainFlag {
-	case "on", "true", "1":
-		mcfg.Chain = true
-	case "off", "false", "0":
-		mcfg.Chain = false
-	default:
-		fmt.Fprintf(os.Stderr, "confbench: bad -chain %q (want on or off)\n", *chainFlag)
-		os.Exit(2)
+	onOff := func(name, val string) bool {
+		switch val {
+		case "on", "true", "1":
+			return true
+		case "off", "false", "0":
+			return false
+		default:
+			fmt.Fprintf(os.Stderr, "confbench: bad -%s %q (want on or off)\n", name, val)
+			os.Exit(2)
+			panic("unreachable")
+		}
 	}
+	mcfg.Chain = onOff("chain", *chainFlag)
+	mcfg.Fuse = onOff("fuse", *fuseFlag)
+	mcfg.Threaded = onOff("threaded", *threadedFlag)
 	scenarioSeed = *seed
 	shortGrid = *short
 
@@ -360,6 +378,8 @@ func main() {
 			FigureFilter: *figure,
 			Superblocks:  *superblocks,
 			Chain:        mcfg.Chain,
+			Fuse:         mcfg.Fuse,
+			Threaded:     mcfg.Threaded,
 			Parallel:     workers,
 		}
 		if *figure != "all" && *outPath == "BENCH_interp.json" {
@@ -853,7 +873,12 @@ func interp() ([]bench.Cell, renderFn) {
 	stepConf.Superblocks = false
 	blockConf := machine.DefaultConfig()
 	blockConf.Superblocks = true
-	blockConf.Chain = mcfg.Chain // -chain=off measures unchained dispatch
+	// -chain=off / -fuse=off / -threaded=on measure the corresponding
+	// dispatch-stack variants; the stepwise lane stays fixed so the
+	// speedup column is always "this stack vs stepping".
+	blockConf.Chain = mcfg.Chain
+	blockConf.Fuse = mcfg.Fuse
+	blockConf.Threaded = mcfg.Threaded
 	wls := bench.Workloads(false)
 	var cells []bench.Cell
 	for _, wl := range wls {
@@ -878,7 +903,7 @@ func interp() ([]bench.Cell, renderFn) {
 				return mb.Err
 			}
 			name := ms.Cell.Row
-			if ms.M.Wall != mb.M.Wall || ms.M.Stats != mb.M.Stats {
+			if ms.M.Wall != mb.M.Wall || ms.M.Stats.Arch() != mb.M.Stats.Arch() {
 				return fmt.Errorf("%s: dispatch modes disagree (stepwise %d cycles, superblock %d cycles)",
 					name, ms.M.Wall, mb.M.Wall)
 			}

@@ -6,7 +6,14 @@
 //
 //	confrun [-param n]... [-file name=content]... [-privfile name=content]...
 //	        [-passwd user=pw]... [-stats] [-trace out.json] [-chrometrace out.json]
-//	        [-profile out.folded] prog.img
+//	        [-profile out.folded] [-fuse on|off] [-threaded on|off] prog.img
+//
+// -fuse and -threaded are dispatch escape hatches mirroring confbench's:
+// fusion folds hot instruction idioms into superinstruction slots
+// (default on), threaded dispatch replaces the opcode switch with a
+// per-slot handler table (default off). Both are pure performance
+// switches — every simulated result and counter above is bit-identical
+// in any combination.
 //
 // The observability flags surface the deterministic plane (internal/obs)
 // for one run: -stats prints the full simulated counter set, -trace
@@ -47,6 +54,8 @@ func main() {
 	tracePath := flag.String("trace", "", "write a span-tree JSON trace of trusted-handler calls")
 	chromePath := flag.String("chrometrace", "", "write the trace in Chrome trace-event format")
 	profilePath := flag.String("profile", "", "write a folded-stack per-function cycle profile")
+	fuseFlag := flag.String("fuse", "on", "superinstruction fusion: on|off")
+	threadedFlag := flag.String("threaded", "off", "threaded per-slot handler dispatch: on|off")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: confrun [flags] prog.img")
@@ -90,10 +99,25 @@ func main() {
 			calls = append(calls, call{name, start, end})
 		}
 	}
+	onOff := func(name, val string) bool {
+		switch val {
+		case "on", "true", "1":
+			return true
+		case "off", "false", "0":
+			return false
+		default:
+			fatal(fmt.Errorf("bad -%s %q (want on or off)", name, val))
+			panic("unreachable")
+		}
+	}
+	// Build an explicit machine config when any dispatch or profiling
+	// flag departs from the defaults (nil means "library default").
+	c := machine.DefaultConfig()
+	c.Profile = *profilePath != ""
+	c.Fuse = onOff("fuse", *fuseFlag)
+	c.Threaded = onOff("threaded", *threadedFlag)
 	var mconf *machine.Config
-	if *profilePath != "" {
-		c := machine.DefaultConfig()
-		c.Profile = true
+	if c != machine.DefaultConfig() {
 		mconf = &c
 	}
 

@@ -17,8 +17,10 @@ func latArr(seed uint64) scenario.Arrival {
 }
 
 // TestLatencyDispatchInvariance pins the figure's core contract: the
-// latency report is a simulated quantity, so stepwise, unchained and
-// chained dispatch must produce byte-identical reports.
+// latency report is a simulated quantity, so stepwise, unchained,
+// chained, fused and threaded dispatch must produce byte-identical
+// reports (architectural stats too; FusedSlots/Defuses are
+// observability counters and may differ, hence Arch()).
 func TestLatencyDispatchInvariance(t *testing.T) {
 	var reports []*LatencyReport
 	var stats []machine.Stats
@@ -26,10 +28,20 @@ func TestLatencyDispatchInvariance(t *testing.T) {
 		name        string
 		superblocks bool
 		chain       bool
-	}{{"stepwise", false, false}, {"nochain", true, false}, {"chained", true, true}} {
+		fuse        bool
+		threaded    bool
+	}{
+		{"stepwise", false, false, false, false},
+		{"nochain", true, false, false, false},
+		{"chained", true, true, false, false},
+		{"fused", true, true, true, false},
+		{"threaded", true, true, true, true},
+	} {
 		conf := machine.DefaultConfig()
 		conf.Superblocks = mode.superblocks
 		conf.Chain = mode.chain
+		conf.Fuse = mode.fuse
+		conf.Threaded = mode.threaded
 		m, err := RunLatency(latSpec(), latArr(7), confllvm.VariantMPX, &conf, nil)
 		if err != nil {
 			t.Fatalf("%s: %v", mode.name, err)
@@ -41,7 +53,7 @@ func TestLatencyDispatchInvariance(t *testing.T) {
 		if !reflect.DeepEqual(reports[0], reports[i]) {
 			t.Errorf("latency report differs across dispatch modes:\n%+v\nvs\n%+v", reports[0], reports[i])
 		}
-		if stats[0] != stats[i] {
+		if stats[0].Arch() != stats[i].Arch() {
 			t.Errorf("stats differ across dispatch modes: %+v vs %+v", stats[0], stats[i])
 		}
 	}

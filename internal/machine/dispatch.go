@@ -1,0 +1,627 @@
+package machine
+
+import (
+	"fmt"
+	"math"
+
+	"confllvm/internal/asm"
+)
+
+// Threaded dispatch (Conf.Threaded): instead of re-deciding `switch
+// ip.Op` for every slot on every execution, threadRun resolves each
+// slot's handler once at flatten time into run.ops — an array of
+// opFuncs parallel to the slot program (the fused program when fusion
+// produced one, the raw constituent list otherwise) — and execThreaded
+// walks it with one indirect call per slot.
+//
+// Every handler replicates its switch case exactly, under one uniform
+// contract so the shared post-loop charging in execRun needs no mode
+// checks:
+//
+//   - k is the constituent index of the slot's first instruction on
+//     entry; the handler returns k advanced past every constituent it
+//     executed, including a faulting one — so run.cum[k-1] charges the
+//     clean prefix and run.pcs[k-1] is the faulting PC, exactly as the
+//     switch walk leaves k.
+//   - The second result is the next PC. Only terminator slots produce a
+//     value execRun consults (after a fully executed run whose term
+//     redirects); interior slots return 0, harmlessly overwritten.
+//   - The handler returns a non-nil fault exactly when the switch case
+//     would have set one.
+//
+// Budget bites never reach the ops array: execRun only takes the
+// threaded path when the whole block fits the remaining budget, so a
+// truncated prefix always runs through the constituent switch walk and
+// threading composes with de-fusion for free.
+type opFunc func(t *Thread, ip *asm.Inst, run *blockRun, k int) (int, uint64, *Fault)
+
+// opTable maps every opcode — real and synthetic fused — to its
+// handler. Indexing by the full uint8 space keeps the resolve in
+// threadRun a plain array load; unimplemented opcodes get the same
+// decode fault the switch's default case raises.
+var opTable [256]opFunc
+
+func init() {
+	for i := range opTable {
+		opTable[i] = hBadOp
+	}
+	set := func(op asm.Op, h opFunc) { opTable[op] = h }
+	set(asm.OpNop, hNop)
+	set(asm.OpMovRR, hMovRR)
+	set(asm.OpMovRI, hMovRI)
+	set(asm.OpLea, hLea)
+	set(asm.OpLoad, hLoad)
+	set(asm.OpStore, hStore)
+	set(asm.OpPush, hPush)
+	set(asm.OpPop, hPop)
+	set(asm.OpAddRR, hAddRR)
+	set(asm.OpAddRI, hAddRI)
+	set(asm.OpSubRR, hSubRR)
+	set(asm.OpSubRI, hSubRI)
+	set(asm.OpMulRR, hMulRR)
+	set(asm.OpMulRI, hMulRI)
+	set(asm.OpDivRR, hDivRR)
+	set(asm.OpModRR, hModRR)
+	set(asm.OpAndRR, hAndRR)
+	set(asm.OpAndRI, hAndRI)
+	set(asm.OpOrRR, hOrRR)
+	set(asm.OpOrRI, hOrRI)
+	set(asm.OpXorRR, hXorRR)
+	set(asm.OpXorRI, hXorRI)
+	set(asm.OpShlRR, hShlRR)
+	set(asm.OpShlRI, hShlRI)
+	set(asm.OpShrRR, hShrRR)
+	set(asm.OpShrRI, hShrRI)
+	set(asm.OpSarRR, hSarRR)
+	set(asm.OpSarRI, hSarRI)
+	set(asm.OpNeg, hNeg)
+	set(asm.OpNot, hNot)
+	set(asm.OpCmpRR, hCmpRR)
+	set(asm.OpCmpRI, hCmpRI)
+	set(asm.OpCmpMR, hCmpMR)
+	set(asm.OpTestRR, hTestRR)
+	set(asm.OpTestRI, hTestRI)
+	set(asm.OpSetCC, hSetCC)
+	set(asm.OpJmp, hJmp)
+	set(asm.OpJcc, hJcc)
+	set(asm.OpJmpR, hJmpR)
+	set(asm.OpCall, hCall)
+	set(asm.OpICall, hICall)
+	set(asm.OpRet, hRet)
+	set(asm.OpTrap, hTrap)
+	set(asm.OpExit, hExit)
+	set(asm.OpBndCLMem, hBndCheck)
+	set(asm.OpBndCUMem, hBndCheck)
+	set(asm.OpBndCLReg, hBndCheck)
+	set(asm.OpBndCUReg, hBndCheck)
+	set(asm.OpChkSP, hChkSP)
+	set(asm.OpFLoad, hFLoad)
+	set(asm.OpFStore, hFStore)
+	set(asm.OpFMovRR, hFMovRR)
+	set(asm.OpFMovI, hFMovI)
+	set(asm.OpFAdd, hFAdd)
+	set(asm.OpFSub, hFSub)
+	set(asm.OpFMul, hFMul)
+	set(asm.OpFDiv, hFDiv)
+	set(asm.OpFMax, hFMax)
+	set(asm.OpFCmp, hFCmp)
+	set(asm.OpCvtIF, hCvtIF)
+	set(asm.OpCvtFI, hCvtFI)
+	set(asm.OpMovQIF, hMovQIF)
+	set(asm.OpMovQFI, hMovQFI)
+	set(asm.OpWrFS, hWrFS)
+	set(asm.OpWrGS, hWrGS)
+	set(asm.OpSyscall, hSyscall)
+	set(opFuseAluCmpJcc, hFuseAluCmpJcc)
+	set(opFuseCmpJcc, hFuseCmpJcc)
+	set(opFuseLoadOpStore, hFuseLoadOpStore)
+	set(opFuseChkLoad, hFuseChk)
+	set(opFuseChkStore, hFuseChk)
+	set(opFuseAluPack, hFuseAluPack)
+}
+
+// threadRun resolves the run's slot program into its handler array.
+// Called once at flatten time (buildBlock), after any fusion pass, so
+// execution never touches the table.
+func threadRun(run *blockRun) {
+	xs := run.insts
+	if run.xinsts != nil {
+		xs = run.xinsts
+	}
+	ops := make([]opFunc, len(xs))
+	for i := range xs {
+		ops[i] = opTable[xs[i].Op]
+	}
+	run.ops = ops
+}
+
+// execThreaded walks the run's full slot program through the handler
+// array. Only called when the whole block fits the budget (execRun
+// guards), so the slot program and ops array always align end to end.
+// Returns the constituent count, the terminator's next PC and the
+// fault, positioned under the same contract as the switch walk.
+func (t *Thread) execThreaded(run *blockRun) (int, uint64, *Fault) {
+	xs := run.insts
+	if run.xinsts != nil {
+		xs = run.xinsts
+	}
+	ops := run.ops
+	k := 0
+	var nextPC uint64
+	var fault *Fault
+	for j := 0; j < len(ops); j++ {
+		k, nextPC, fault = ops[j](t, &xs[j], run, k)
+		if fault != nil {
+			break
+		}
+	}
+	return k, nextPC, fault
+}
+
+func hBadOp(t *Thread, ip *asm.Inst, _ *blockRun, k int) (int, uint64, *Fault) {
+	return k + 1, 0, &Fault{Kind: FaultDecode, Msg: "unimplemented opcode " + ip.Op.String()}
+}
+
+func hNop(_ *Thread, _ *asm.Inst, _ *blockRun, k int) (int, uint64, *Fault) {
+	return k + 1, 0, nil
+}
+
+func hMovRR(t *Thread, ip *asm.Inst, _ *blockRun, k int) (int, uint64, *Fault) {
+	t.Regs[ip.Dst] = t.Regs[ip.Src]
+	return k + 1, 0, nil
+}
+
+func hMovRI(t *Thread, ip *asm.Inst, _ *blockRun, k int) (int, uint64, *Fault) {
+	t.Regs[ip.Dst] = uint64(ip.Imm)
+	return k + 1, 0, nil
+}
+
+func hLea(t *Thread, ip *asm.Inst, _ *blockRun, k int) (int, uint64, *Fault) {
+	t.Regs[ip.Dst] = t.ea(&ip.M, false)
+	return k + 1, 0, nil
+}
+
+func hLoad(t *Thread, ip *asm.Inst, _ *blockRun, k int) (int, uint64, *Fault) {
+	return k + 1, 0, t.execLoad(ip)
+}
+
+func hStore(t *Thread, ip *asm.Inst, _ *blockRun, k int) (int, uint64, *Fault) {
+	return k + 1, 0, t.execStore(ip)
+}
+
+func hPush(t *Thread, ip *asm.Inst, _ *blockRun, k int) (int, uint64, *Fault) {
+	if f := t.Push(t.Regs[ip.Src]); f != nil {
+		return k + 1, 0, f
+	}
+	t.Stats.Stores++
+	t.Stats.Cycles += t.memCost(t.Regs[asm.RSP])
+	return k + 1, 0, nil
+}
+
+func hPop(t *Thread, ip *asm.Inst, _ *blockRun, k int) (int, uint64, *Fault) {
+	v, f := t.Pop()
+	if f != nil {
+		return k + 1, 0, f
+	}
+	t.Regs[ip.Dst] = v
+	t.Stats.Loads++
+	t.Stats.Cycles += t.memCost(t.Regs[asm.RSP] - 8)
+	return k + 1, 0, nil
+}
+
+func hAddRR(t *Thread, ip *asm.Inst, _ *blockRun, k int) (int, uint64, *Fault) {
+	t.Regs[ip.Dst] += t.Regs[ip.Src]
+	return k + 1, 0, nil
+}
+
+func hAddRI(t *Thread, ip *asm.Inst, _ *blockRun, k int) (int, uint64, *Fault) {
+	t.Regs[ip.Dst] += uint64(ip.Imm)
+	return k + 1, 0, nil
+}
+
+func hSubRR(t *Thread, ip *asm.Inst, _ *blockRun, k int) (int, uint64, *Fault) {
+	t.Regs[ip.Dst] -= t.Regs[ip.Src]
+	return k + 1, 0, nil
+}
+
+func hSubRI(t *Thread, ip *asm.Inst, _ *blockRun, k int) (int, uint64, *Fault) {
+	t.Regs[ip.Dst] -= uint64(ip.Imm)
+	return k + 1, 0, nil
+}
+
+func hMulRR(t *Thread, ip *asm.Inst, _ *blockRun, k int) (int, uint64, *Fault) {
+	t.Regs[ip.Dst] = uint64(int64(t.Regs[ip.Dst]) * int64(t.Regs[ip.Src]))
+	return k + 1, 0, nil
+}
+
+func hMulRI(t *Thread, ip *asm.Inst, _ *blockRun, k int) (int, uint64, *Fault) {
+	t.Regs[ip.Dst] = uint64(int64(t.Regs[ip.Dst]) * ip.Imm)
+	return k + 1, 0, nil
+}
+
+func hDivRR(t *Thread, ip *asm.Inst, _ *blockRun, k int) (int, uint64, *Fault) {
+	d := int64(t.Regs[ip.Src])
+	n := int64(t.Regs[ip.Dst])
+	if d == 0 || (d == -1 && n == math.MinInt64) {
+		return k + 1, 0, &Fault{Kind: FaultDivide}
+	}
+	t.Regs[ip.Dst] = uint64(n / d)
+	return k + 1, 0, nil
+}
+
+func hModRR(t *Thread, ip *asm.Inst, _ *blockRun, k int) (int, uint64, *Fault) {
+	d := int64(t.Regs[ip.Src])
+	n := int64(t.Regs[ip.Dst])
+	if d == 0 || (d == -1 && n == math.MinInt64) {
+		return k + 1, 0, &Fault{Kind: FaultDivide}
+	}
+	t.Regs[ip.Dst] = uint64(n % d)
+	return k + 1, 0, nil
+}
+
+func hAndRR(t *Thread, ip *asm.Inst, _ *blockRun, k int) (int, uint64, *Fault) {
+	t.Regs[ip.Dst] &= t.Regs[ip.Src]
+	return k + 1, 0, nil
+}
+
+func hAndRI(t *Thread, ip *asm.Inst, _ *blockRun, k int) (int, uint64, *Fault) {
+	t.Regs[ip.Dst] &= uint64(ip.Imm)
+	return k + 1, 0, nil
+}
+
+func hOrRR(t *Thread, ip *asm.Inst, _ *blockRun, k int) (int, uint64, *Fault) {
+	t.Regs[ip.Dst] |= t.Regs[ip.Src]
+	return k + 1, 0, nil
+}
+
+func hOrRI(t *Thread, ip *asm.Inst, _ *blockRun, k int) (int, uint64, *Fault) {
+	t.Regs[ip.Dst] |= uint64(ip.Imm)
+	return k + 1, 0, nil
+}
+
+func hXorRR(t *Thread, ip *asm.Inst, _ *blockRun, k int) (int, uint64, *Fault) {
+	t.Regs[ip.Dst] ^= t.Regs[ip.Src]
+	return k + 1, 0, nil
+}
+
+func hXorRI(t *Thread, ip *asm.Inst, _ *blockRun, k int) (int, uint64, *Fault) {
+	t.Regs[ip.Dst] ^= uint64(ip.Imm)
+	return k + 1, 0, nil
+}
+
+func hShlRR(t *Thread, ip *asm.Inst, _ *blockRun, k int) (int, uint64, *Fault) {
+	t.Regs[ip.Dst] <<= t.Regs[ip.Src] & 63
+	return k + 1, 0, nil
+}
+
+func hShlRI(t *Thread, ip *asm.Inst, _ *blockRun, k int) (int, uint64, *Fault) {
+	t.Regs[ip.Dst] <<= uint64(ip.Imm) & 63
+	return k + 1, 0, nil
+}
+
+func hShrRR(t *Thread, ip *asm.Inst, _ *blockRun, k int) (int, uint64, *Fault) {
+	t.Regs[ip.Dst] >>= t.Regs[ip.Src] & 63
+	return k + 1, 0, nil
+}
+
+func hShrRI(t *Thread, ip *asm.Inst, _ *blockRun, k int) (int, uint64, *Fault) {
+	t.Regs[ip.Dst] >>= uint64(ip.Imm) & 63
+	return k + 1, 0, nil
+}
+
+func hSarRR(t *Thread, ip *asm.Inst, _ *blockRun, k int) (int, uint64, *Fault) {
+	t.Regs[ip.Dst] = uint64(int64(t.Regs[ip.Dst]) >> (t.Regs[ip.Src] & 63))
+	return k + 1, 0, nil
+}
+
+func hSarRI(t *Thread, ip *asm.Inst, _ *blockRun, k int) (int, uint64, *Fault) {
+	t.Regs[ip.Dst] = uint64(int64(t.Regs[ip.Dst]) >> (uint64(ip.Imm) & 63))
+	return k + 1, 0, nil
+}
+
+func hNeg(t *Thread, ip *asm.Inst, _ *blockRun, k int) (int, uint64, *Fault) {
+	t.Regs[ip.Dst] = -t.Regs[ip.Dst]
+	return k + 1, 0, nil
+}
+
+func hNot(t *Thread, ip *asm.Inst, _ *blockRun, k int) (int, uint64, *Fault) {
+	t.Regs[ip.Dst] = ^t.Regs[ip.Dst]
+	return k + 1, 0, nil
+}
+
+func hCmpRR(t *Thread, ip *asm.Inst, _ *blockRun, k int) (int, uint64, *Fault) {
+	t.setCmpFlags(t.Regs[ip.Dst], t.Regs[ip.Src])
+	return k + 1, 0, nil
+}
+
+func hCmpRI(t *Thread, ip *asm.Inst, _ *blockRun, k int) (int, uint64, *Fault) {
+	t.setCmpFlags(t.Regs[ip.Dst], uint64(ip.Imm))
+	return k + 1, 0, nil
+}
+
+func hCmpMR(t *Thread, ip *asm.Inst, _ *blockRun, k int) (int, uint64, *Fault) {
+	addr := t.ea(&ip.M, true)
+	v, f := t.m.Mem.Read(addr, 8)
+	if f != nil {
+		return k + 1, 0, f
+	}
+	t.setCmpFlags(v, t.Regs[ip.Src])
+	t.Stats.Loads++
+	t.Stats.Cycles += t.memCost(addr)
+	return k + 1, 0, nil
+}
+
+func hTestRR(t *Thread, ip *asm.Inst, _ *blockRun, k int) (int, uint64, *Fault) {
+	t.setTestFlags(t.Regs[ip.Dst] & t.Regs[ip.Src])
+	return k + 1, 0, nil
+}
+
+func hTestRI(t *Thread, ip *asm.Inst, _ *blockRun, k int) (int, uint64, *Fault) {
+	t.setTestFlags(t.Regs[ip.Dst] & uint64(ip.Imm))
+	return k + 1, 0, nil
+}
+
+func hSetCC(t *Thread, ip *asm.Inst, _ *blockRun, k int) (int, uint64, *Fault) {
+	if t.condTrue(ip.Cond) {
+		t.Regs[ip.Dst] = 1
+	} else {
+		t.Regs[ip.Dst] = 0
+	}
+	return k + 1, 0, nil
+}
+
+func hJmp(_ *Thread, ip *asm.Inst, _ *blockRun, k int) (int, uint64, *Fault) {
+	return k + 1, uint64(ip.Imm), nil
+}
+
+func hJcc(t *Thread, ip *asm.Inst, run *blockRun, k int) (int, uint64, *Fault) {
+	return k + 1, t.jccNext(ip, run.pcs[k+1]), nil
+}
+
+func hJmpR(t *Thread, ip *asm.Inst, _ *blockRun, k int) (int, uint64, *Fault) {
+	return k + 1, t.Regs[ip.Src], nil
+}
+
+func hCall(t *Thread, ip *asm.Inst, run *blockRun, k int) (int, uint64, *Fault) {
+	if f := t.Push(run.pcs[k+1]); f != nil {
+		return k + 1, 0, f
+	}
+	t.Stats.Cycles += t.memCost(t.Regs[asm.RSP])
+	return k + 1, uint64(ip.Imm), nil
+}
+
+func hICall(t *Thread, ip *asm.Inst, run *blockRun, k int) (int, uint64, *Fault) {
+	if f := t.Push(run.pcs[k+1]); f != nil {
+		return k + 1, 0, f
+	}
+	t.Stats.Cycles += t.memCost(t.Regs[asm.RSP])
+	return k + 1, t.Regs[ip.Src], nil
+}
+
+func hRet(t *Thread, _ *asm.Inst, _ *blockRun, k int) (int, uint64, *Fault) {
+	v, f := t.Pop()
+	if f != nil {
+		return k + 1, 0, f
+	}
+	t.Stats.Cycles += t.memCost(t.Regs[asm.RSP] - 8)
+	return k + 1, v, nil
+}
+
+func hTrap(_ *Thread, _ *asm.Inst, _ *blockRun, k int) (int, uint64, *Fault) {
+	return k + 1, 0, &Fault{Kind: FaultCFI, Msg: "trap"}
+}
+
+func hExit(t *Thread, _ *asm.Inst, run *blockRun, k int) (int, uint64, *Fault) {
+	t.Halted = true
+	t.ExitCode = t.Regs[asm.RetReg]
+	t.PC = run.pcs[k]
+	return k + 1, 0, nil
+}
+
+func hBndCheck(t *Thread, ip *asm.Inst, _ *blockRun, k int) (int, uint64, *Fault) {
+	return k + 1, 0, t.bndCheck(ip)
+}
+
+func hChkSP(t *Thread, _ *asm.Inst, _ *blockRun, k int) (int, uint64, *Fault) {
+	sp := t.Regs[asm.RSP]
+	if sp < t.StackLo || sp > t.StackHi {
+		return k + 1, 0, &Fault{Kind: FaultStack, Addr: sp,
+			Msg: fmt.Sprintf("rsp outside [%#x,%#x]", t.StackLo, t.StackHi)}
+	}
+	return k + 1, 0, nil
+}
+
+func hFLoad(t *Thread, ip *asm.Inst, _ *blockRun, k int) (int, uint64, *Fault) {
+	addr := t.ea(&ip.M, true)
+	v, f := t.m.Mem.Read(addr, 8)
+	if f != nil {
+		return k + 1, 0, f
+	}
+	t.FRegs[ip.FDst] = math.Float64frombits(v)
+	t.Stats.Loads++
+	t.Stats.Cycles += t.memCost(addr)
+	t.grantFPCredit()
+	return k + 1, 0, nil
+}
+
+func hFStore(t *Thread, ip *asm.Inst, _ *blockRun, k int) (int, uint64, *Fault) {
+	addr := t.ea(&ip.M, true)
+	if f := t.m.Mem.Write(addr, 8, math.Float64bits(t.FRegs[ip.FSrc])); f != nil {
+		return k + 1, 0, f
+	}
+	t.Stats.Stores++
+	t.Stats.Cycles += t.memCost(addr)
+	t.grantFPCredit()
+	return k + 1, 0, nil
+}
+
+func hFMovRR(t *Thread, ip *asm.Inst, _ *blockRun, k int) (int, uint64, *Fault) {
+	t.FRegs[ip.FDst] = t.FRegs[ip.FSrc]
+	return k + 1, 0, nil
+}
+
+func hFMovI(t *Thread, ip *asm.Inst, _ *blockRun, k int) (int, uint64, *Fault) {
+	t.FRegs[ip.FDst] = math.Float64frombits(uint64(ip.Imm))
+	return k + 1, 0, nil
+}
+
+func hFAdd(t *Thread, ip *asm.Inst, _ *blockRun, k int) (int, uint64, *Fault) {
+	t.FRegs[ip.FDst] += t.FRegs[ip.FSrc]
+	t.grantFPCredit()
+	return k + 1, 0, nil
+}
+
+func hFSub(t *Thread, ip *asm.Inst, _ *blockRun, k int) (int, uint64, *Fault) {
+	t.FRegs[ip.FDst] -= t.FRegs[ip.FSrc]
+	t.grantFPCredit()
+	return k + 1, 0, nil
+}
+
+func hFMul(t *Thread, ip *asm.Inst, _ *blockRun, k int) (int, uint64, *Fault) {
+	t.FRegs[ip.FDst] *= t.FRegs[ip.FSrc]
+	t.grantFPCredit()
+	return k + 1, 0, nil
+}
+
+func hFDiv(t *Thread, ip *asm.Inst, _ *blockRun, k int) (int, uint64, *Fault) {
+	t.FRegs[ip.FDst] /= t.FRegs[ip.FSrc]
+	t.grantFPCredit()
+	return k + 1, 0, nil
+}
+
+func hFMax(t *Thread, ip *asm.Inst, _ *blockRun, k int) (int, uint64, *Fault) {
+	if t.FRegs[ip.FSrc] > t.FRegs[ip.FDst] {
+		t.FRegs[ip.FDst] = t.FRegs[ip.FSrc]
+	}
+	t.grantFPCredit()
+	return k + 1, 0, nil
+}
+
+func hFCmp(t *Thread, ip *asm.Inst, _ *blockRun, k int) (int, uint64, *Fault) {
+	a, b := t.FRegs[ip.FDst], t.FRegs[ip.FSrc]
+	if math.IsNaN(a) || math.IsNaN(b) {
+		t.ZF, t.CF = true, true // x64 unordered result
+	} else {
+		t.ZF = a == b
+		t.CF = a < b
+	}
+	t.SF, t.OF = false, false
+	t.grantFPCredit()
+	return k + 1, 0, nil
+}
+
+func hCvtIF(t *Thread, ip *asm.Inst, _ *blockRun, k int) (int, uint64, *Fault) {
+	t.FRegs[ip.FDst] = float64(int64(t.Regs[ip.Src]))
+	return k + 1, 0, nil
+}
+
+func hCvtFI(t *Thread, ip *asm.Inst, _ *blockRun, k int) (int, uint64, *Fault) {
+	t.Regs[ip.Dst] = uint64(int64(t.FRegs[ip.FSrc]))
+	return k + 1, 0, nil
+}
+
+func hMovQIF(t *Thread, ip *asm.Inst, _ *blockRun, k int) (int, uint64, *Fault) {
+	t.FRegs[ip.FDst] = math.Float64frombits(t.Regs[ip.Src])
+	return k + 1, 0, nil
+}
+
+func hMovQFI(t *Thread, ip *asm.Inst, _ *blockRun, k int) (int, uint64, *Fault) {
+	t.Regs[ip.Dst] = math.Float64bits(t.FRegs[ip.FSrc])
+	return k + 1, 0, nil
+}
+
+func hWrFS(t *Thread, ip *asm.Inst, _ *blockRun, k int) (int, uint64, *Fault) {
+	t.FS = t.Regs[ip.Src]
+	return k + 1, 0, nil
+}
+
+func hWrGS(t *Thread, ip *asm.Inst, _ *blockRun, k int) (int, uint64, *Fault) {
+	t.GS = t.Regs[ip.Src]
+	return k + 1, 0, nil
+}
+
+func hSyscall(_ *Thread, _ *asm.Inst, _ *blockRun, k int) (int, uint64, *Fault) {
+	return k + 1, 0, &Fault{Kind: FaultPerm, Msg: "syscall from untrusted code"}
+}
+
+func hFuseAluCmpJcc(t *Thread, ip *asm.Inst, run *blockRun, k int) (int, uint64, *Fault) {
+	fs := &run.fused[ip.Imm]
+	npc := t.fuseAluCmpJcc(fs)
+	t.Stats.FusedSlots++
+	return k + len(fs.insts), npc, nil
+}
+
+func hFuseAluPack(t *Thread, ip *asm.Inst, run *blockRun, k int) (int, uint64, *Fault) {
+	fs := &run.fused[ip.Imm]
+	t.packExec(fs.uops)
+	t.Stats.FusedSlots++
+	return k + len(fs.insts), 0, nil
+}
+
+func hFuseCmpJcc(t *Thread, ip *asm.Inst, run *blockRun, k int) (int, uint64, *Fault) {
+	npc := t.fuseCmpJcc(&run.fused[ip.Imm])
+	t.Stats.FusedSlots++
+	return k + 2, npc, nil
+}
+
+func hFuseLoadOpStore(t *Thread, ip *asm.Inst, run *blockRun, k int) (int, uint64, *Fault) {
+	nc, f := t.fuseLoadOpStore(&run.fused[ip.Imm])
+	if f != nil {
+		t.Stats.Defuses++
+		return k + nc + 1, 0, f
+	}
+	t.Stats.FusedSlots++
+	return k + 3, 0, nil
+}
+
+func hFuseChk(t *Thread, ip *asm.Inst, run *blockRun, k int) (int, uint64, *Fault) {
+	nc, f := t.fuseChk(&run.fused[ip.Imm])
+	if f != nil {
+		t.Stats.Defuses++
+		return k + nc + 1, 0, f
+	}
+	t.Stats.FusedSlots++
+	return k + 2, 0, nil
+}
+
+// bndCheck executes a bndcl/bndcu constituent: the exact semantics of
+// the combined bound-check case in execRun's switch, including the
+// FP-masking credit and the masked check's static-cost refund.
+func (t *Thread) bndCheck(ip *asm.Inst) *Fault {
+	t.Stats.BndChecks++
+	masked := false
+	if t.fpCredit > 0 {
+		t.fpCredit--
+		t.Stats.BndMasked++
+		masked = true
+	}
+	var addr uint64
+	switch ip.Op {
+	case asm.OpBndCLMem, asm.OpBndCUMem:
+		// As with lea, the check is on the raw address (no segment).
+		addr = t.ea(&ip.M, false)
+	default:
+		addr = t.Regs[ip.Src]
+	}
+	b := t.Bnd[ip.Bnd]
+	switch ip.Op {
+	case asm.OpBndCLMem, asm.OpBndCLReg:
+		if addr < b.Lo {
+			return &Fault{Kind: FaultBounds, Addr: addr,
+				Msg: fmt.Sprintf("below %s.lower=%#x", ip.Bnd, b.Lo)}
+		}
+	default:
+		if addr > b.Hi {
+			return &Fault{Kind: FaultBounds, Addr: addr,
+				Msg: fmt.Sprintf("above %s.upper=%#x", ip.Bnd, b.Hi)}
+		}
+	}
+	if masked {
+		// The check hid behind FP work: refund the static unit cost
+		// charged by the block's prefix sum. A faulting masked check
+		// never gets here — its cost was never charged (the prefix sum
+		// excludes the faulting slot).
+		t.Stats.Cycles--
+	}
+	return nil
+}

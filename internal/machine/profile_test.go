@@ -50,10 +50,14 @@ var profModes = []struct {
 	name        string
 	superblocks bool
 	chain       bool
+	fuse        bool
+	threaded    bool
 }{
-	{"stepwise", false, false},
-	{"superblock", true, false},
-	{"chained", true, true},
+	{"stepwise", false, false, false, false},
+	{"superblock", true, false, false, false},
+	{"chained", true, true, false, false},
+	{"fused", true, true, true, false},
+	{"threaded", true, true, true, true},
 }
 
 // TestProfileConservation: with profiling on, the attributed cycle and
@@ -71,6 +75,8 @@ func TestProfileConservation(t *testing.T) {
 				conf := DefaultConfig()
 				conf.Superblocks = mode.superblocks
 				conf.Chain = mode.chain
+				conf.Fuse = mode.fuse
+				conf.Threaded = mode.threaded
 				conf.Profile = true
 				var tail []asm.Inst
 				if faulting {
@@ -113,6 +119,8 @@ func TestProfileStatsUnchanged(t *testing.T) {
 				conf := DefaultConfig()
 				conf.Superblocks = mode.superblocks
 				conf.Chain = mode.chain
+				conf.Fuse = mode.fuse
+				conf.Threaded = mode.threaded
 				conf.Profile = profile
 				m, th := profLoopMachine(t, conf, 50, nil)
 				if f := m.Run(); f != nil {
@@ -142,6 +150,8 @@ func TestProfileHandlerAttribution(t *testing.T) {
 			conf := DefaultConfig()
 			conf.Superblocks = mode.superblocks
 			conf.Chain = mode.chain
+			conf.Fuse = mode.fuse
+			conf.Threaded = mode.threaded
 			conf.Profile = true
 			m := New(conf)
 			const hnd = uint64(0x9000)
@@ -195,23 +205,37 @@ func TestProfileHandlerAttribution(t *testing.T) {
 // profiling off performs zero allocations. This is the acceptance bar for
 // shipping the hooks inside the hot dispatch loop.
 func TestRunProfileDisabledZeroAlloc(t *testing.T) {
-	conf := DefaultConfig()
-	m, th := profLoopMachine(t, conf, 200, nil)
-	reset := func() {
-		th.Halted = false
-		th.Fault = nil
-		th.PC = 0x1000
-	}
-	if f := m.Run(); f != nil {
-		t.Fatalf("warmup fault: %v", f)
-	}
-	allocs := testing.AllocsPerRun(10, func() {
-		reset()
-		if f := m.Run(); f != nil {
-			t.Fatalf("fault: %v", f)
+	// The fused slot program and threaded op table are built once at
+	// flatten time, so the re-run path must stay allocation-free in every
+	// dispatch mode, fused and threaded included.
+	for _, mode := range profModes {
+		if !mode.superblocks {
+			continue // stepping re-dispatches per instruction; not the pinned path
 		}
-	})
-	if allocs != 0 {
-		t.Fatalf("Run with profiling disabled allocates %.1f objects per run, want 0", allocs)
+		t.Run(mode.name, func(t *testing.T) {
+			conf := DefaultConfig()
+			conf.Superblocks = mode.superblocks
+			conf.Chain = mode.chain
+			conf.Fuse = mode.fuse
+			conf.Threaded = mode.threaded
+			m, th := profLoopMachine(t, conf, 200, nil)
+			reset := func() {
+				th.Halted = false
+				th.Fault = nil
+				th.PC = 0x1000
+			}
+			if f := m.Run(); f != nil {
+				t.Fatalf("warmup fault: %v", f)
+			}
+			allocs := testing.AllocsPerRun(10, func() {
+				reset()
+				if f := m.Run(); f != nil {
+					t.Fatalf("fault: %v", f)
+				}
+			})
+			if allocs != 0 {
+				t.Fatalf("Run with profiling disabled allocates %.1f objects per run, want 0", allocs)
+			}
+		})
 	}
 }

@@ -98,6 +98,19 @@ type blockRun struct {
 	// a prior Step at a hot PC cannot degrade Run to one-instruction
 	// dispatches there.
 	short bool
+
+	// Superinstruction fusion (Conf.Fuse, see fuse.go): xinsts is the
+	// fused slot program — synthetic idiom slots (Imm indexing fused)
+	// interleaved with singleton copies — or nil when no idiom matched.
+	// insts/pcs/cum above stay constituent-indexed regardless, so fuel,
+	// fault PCs and cycle charges are computed identically either way.
+	xinsts []asm.Inst
+	fused  []fusedInst
+
+	// Threaded dispatch (Conf.Threaded, see dispatch.go): per-slot
+	// handler funcs resolved at flatten time, parallel to xinsts when
+	// fusion produced one and to insts otherwise; nil when off.
+	ops []opFunc
 }
 
 // buildBlock decodes straight-line instructions from off up to and
@@ -166,6 +179,19 @@ func (tr *codeTrace) buildBlock(m *Machine, off uint64, limit int) (*blockRun, *
 	run.pcs[n] = tr.lo + o
 	if term == asm.OpJmp || term == asm.OpJcc {
 		run.takenPC = uint64(run.insts[n-1].Imm)
+	}
+	// The slot-program passes run after the constituent arrays and the
+	// terminator metadata are final: fusion rewrites only the program
+	// the dispatch loop walks, and threading resolves handlers for
+	// whichever program that is. Step's one-slot builds (limit 1) never
+	// fuse — fuseRun needs at least two constituents — so a prior Step
+	// at a hot PC cannot change the fusion of the full-length run block
+	// dispatch rebuilds.
+	if m.Conf.Fuse {
+		fuseRun(run)
+	}
+	if m.Conf.Threaded {
+		threadRun(run)
 	}
 	tr.blocks[off] = uint16(n)
 	tr.runs[off] = run

@@ -29,25 +29,38 @@ func buildFor(t *testing.T, conf Config, insts []asm.Inst) (*Machine, *Thread) {
 	return m, th
 }
 
+// parityModes is the superblock-side half of the white-box dispatch
+// matrix: every entry must be bit-identical to per-instruction stepping
+// in thread state, architectural stats and memory.
+var parityModes = []struct {
+	name                  string
+	chain, fuse, threaded bool
+}{
+	{"nochain", false, false, false},
+	{"chained", true, false, false},
+	{"fused", true, true, false},
+	{"threaded", true, true, true},
+}
+
 // runParity runs the same instruction stream under per-instruction
-// stepping, unchained superblock dispatch, and chained superblock
-// dispatch, and requires identical thread state, stats and memory across
-// all three.
+// stepping and every superblock dispatch mode (unchained, chained,
+// fused, threaded), and requires identical thread state, architectural
+// stats and memory across all of them.
 func runParity(t *testing.T, insts []asm.Inst) (*Thread, *Thread) {
 	t.Helper()
 	confA := DefaultConfig()
 	confA.Superblocks = false
+	confA.Fuse = false
 	mA, thA := buildFor(t, confA, insts)
 	fA := mA.Run()
 
 	var thB *Thread
-	for _, mode := range []struct {
-		name  string
-		chain bool
-	}{{"nochain", false}, {"chained", true}} {
+	for _, mode := range parityModes {
 		confB := DefaultConfig()
 		confB.Superblocks = true
 		confB.Chain = mode.chain
+		confB.Fuse = mode.fuse
+		confB.Threaded = mode.threaded
 		mB, th := buildFor(t, confB, insts)
 		fB := mB.Run()
 		if (fA == nil) != (fB == nil) {
@@ -62,7 +75,7 @@ func runParity(t *testing.T, insts []asm.Inst) (*Thread, *Thread) {
 		if thA.PC != th.PC {
 			t.Fatalf("[%s] PC mismatch: stepwise=%#x superblock=%#x", mode.name, thA.PC, th.PC)
 		}
-		if thA.Stats != th.Stats {
+		if thA.Stats.Arch() != th.Stats.Arch() {
 			t.Fatalf("[%s] stats mismatch:\nstepwise:   %+v\nsuperblock: %+v", mode.name, thA.Stats, th.Stats)
 		}
 		if thA.ZF != th.ZF || thA.SF != th.SF || thA.CF != th.CF || thA.OF != th.OF {
@@ -178,6 +191,7 @@ func TestRunFuelParity(t *testing.T) {
 	for _, fuel := range []uint64{1, 2, 7, 1023, 1024, 1025, 4097} {
 		confA := DefaultConfig()
 		confA.Superblocks = false
+		confA.Fuse = false
 		confA.DefaultFuel = fuel
 		mA, thA := buildFor(t, confA, loop)
 		fA := mA.Run()
@@ -190,23 +204,28 @@ func TestRunFuelParity(t *testing.T) {
 		// The budget boundary must land identically whether blocks return
 		// to the dispatcher or chain run-to-run: the bite is capped and
 		// the remainder resumes at the interior slot PC in both cases.
-		for _, chain := range []bool{false, true} {
+		// The loop tail sub/cmp/jcc is a fused idiom, so the fused and
+		// threaded modes also exercise de-fusing at every bite position
+		// the fuel sweep produces.
+		for _, mode := range parityModes {
 			confB := confA
 			confB.Superblocks = true
-			confB.Chain = chain
+			confB.Chain = mode.chain
+			confB.Fuse = mode.fuse
+			confB.Threaded = mode.threaded
 			mB, thB := buildFor(t, confB, loop)
 			fB := mB.Run()
 			if fB == nil || fB.Kind != FaultFuel {
-				t.Fatalf("fuel=%d chain=%v: want fuel fault, got %v", fuel, chain, fB)
+				t.Fatalf("fuel=%d %s: want fuel fault, got %v", fuel, mode.name, fB)
 			}
 			if *fA != *fB {
-				t.Fatalf("fuel=%d chain=%v: fault mismatch %+v vs %+v", fuel, chain, *fA, *fB)
+				t.Fatalf("fuel=%d %s: fault mismatch %+v vs %+v", fuel, mode.name, *fA, *fB)
 			}
-			if thA.Stats != thB.Stats {
-				t.Fatalf("fuel=%d chain=%v: stats mismatch %+v vs %+v", fuel, chain, thA.Stats, thB.Stats)
+			if thA.Stats.Arch() != thB.Stats.Arch() {
+				t.Fatalf("fuel=%d %s: stats mismatch %+v vs %+v", fuel, mode.name, thA.Stats, thB.Stats)
 			}
 			if thA.PC != thB.PC || thA.Regs != thB.Regs {
-				t.Fatalf("fuel=%d chain=%v: state mismatch at cutoff", fuel, chain)
+				t.Fatalf("fuel=%d %s: state mismatch at cutoff", fuel, mode.name)
 			}
 		}
 	}
@@ -342,7 +361,7 @@ func TestSuperblockQuantumInterleaving(t *testing.T) {
 		t.Fatalf("interleaving-sensitive sums differ: (%d,%d) vs (%d,%d)",
 			a0.Regs[asm.RSI], a1.Regs[asm.RSI], b0.Regs[asm.RSI], b1.Regs[asm.RSI])
 	}
-	if a0.Stats != b0.Stats || a1.Stats != b1.Stats {
+	if a0.Stats.Arch() != b0.Stats.Arch() || a1.Stats.Arch() != b1.Stats.Arch() {
 		t.Fatal("per-thread stats differ across dispatch modes")
 	}
 	if mA.Mem.Digest() != mB.Mem.Digest() {
@@ -424,7 +443,7 @@ func TestChainStraightLineOffRegion(t *testing.T) {
 		if fB == nil || *fA != *fB || fA.Error() != fB.Error() {
 			t.Fatalf("chain=%v: fault mismatch: stepwise=%+v superblock=%v", chain, *fA, fB)
 		}
-		if thA.Regs != thB.Regs || thA.Stats != thB.Stats || thA.PC != thB.PC {
+		if thA.Regs != thB.Regs || thA.Stats.Arch() != thB.Stats.Arch() || thA.PC != thB.PC {
 			t.Fatalf("chain=%v: state mismatch at off-region fault", chain)
 		}
 		if chain {
@@ -475,7 +494,7 @@ func TestChainedDecodeFaultTarget(t *testing.T) {
 		if fB == nil || *fA != *fB || fA.Error() != fB.Error() {
 			t.Fatalf("chain=%v: fault mismatch: stepwise=%+v superblock=%v", chain, *fA, fB)
 		}
-		if thA.Regs != thB.Regs || thA.Stats != thB.Stats {
+		if thA.Regs != thB.Regs || thA.Stats.Arch() != thB.Stats.Arch() {
 			t.Fatalf("chain=%v: state mismatch at decode fault", chain)
 		}
 	}
@@ -485,12 +504,9 @@ func TestChainedDecodeFaultTarget(t *testing.T) {
 // invalidation tests: a countdown loop that calls a trusted handler once
 // per iteration. It returns the machine, thread, and the PCs of the
 // add instruction and its successor.
-func chainLoopWithHandler(t *testing.T, superblocks, chain bool, iters int64,
+func chainLoopWithHandler(t *testing.T, conf Config, iters int64,
 	handler func(addPC, skipPC uint64) Handler) (*Machine, *Thread) {
 	t.Helper()
-	conf := DefaultConfig()
-	conf.Superblocks = superblocks
-	conf.Chain = chain
 	m := New(conf)
 	const hpc = 0x9000
 	var code []byte
@@ -529,8 +545,11 @@ func chainLoopWithHandler(t *testing.T, superblocks, chain bool, iters int64,
 // dispatch modes.
 func TestChainedCodePatchInvalidation(t *testing.T) {
 	mk := func(superblocks, chain bool) (*Machine, *Thread) {
+		conf := DefaultConfig()
+		conf.Superblocks = superblocks
+		conf.Chain = chain
 		calls := 0
-		return chainLoopWithHandler(t, superblocks, chain, 6,
+		return chainLoopWithHandler(t, conf, 6,
 			func(addPC, skipPC uint64) Handler {
 				return func(m *Machine, t *Thread) *Fault {
 					ret, f := t.Pop()
@@ -564,7 +583,7 @@ func TestChainedCodePatchInvalidation(t *testing.T) {
 		if f := mB.Run(); f != nil {
 			t.Fatal(f)
 		}
-		if thA.Regs != thB.Regs || thA.Stats != thB.Stats || thA.PC != thB.PC {
+		if thA.Regs != thB.Regs || thA.Stats.Arch() != thB.Stats.Arch() || thA.PC != thB.PC {
 			t.Fatalf("chain=%v: state mismatch after mid-loop code patch:\nstepwise:   %+v\nsuperblock: %+v",
 				chain, thA.Stats, thB.Stats)
 		}
@@ -582,8 +601,11 @@ func TestChainedCodePatchInvalidation(t *testing.T) {
 // all three dispatch modes identically.
 func TestChainedHandlerRegistrationMidRun(t *testing.T) {
 	mk := func(superblocks, chain bool) (*Machine, *Thread) {
+		conf := DefaultConfig()
+		conf.Superblocks = superblocks
+		conf.Chain = chain
 		calls := 0
-		return chainLoopWithHandler(t, superblocks, chain, 8,
+		return chainLoopWithHandler(t, conf, 8,
 			func(addPC, skipPC uint64) Handler {
 				return func(m *Machine, t *Thread) *Fault {
 					ret, f := t.Pop()
@@ -617,7 +639,7 @@ func TestChainedHandlerRegistrationMidRun(t *testing.T) {
 		if f := mB.Run(); f != nil {
 			t.Fatal(f)
 		}
-		if thA.Regs != thB.Regs || thA.Stats != thB.Stats || thA.PC != thB.PC {
+		if thA.Regs != thB.Regs || thA.Stats.Arch() != thB.Stats.Arch() || thA.PC != thB.PC {
 			t.Fatalf("chain=%v: state mismatch after mid-run handler registration:\nstepwise:   %+v\nsuperblock: %+v",
 				chain, thA.Stats, thB.Stats)
 		}
